@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Extension sensitivity study: the epoch length. The paper fixes
+ * epochs at 2000 reads (Fig. 3 caption) without a sensitivity
+ * analysis; this bench sweeps the epoch across 500..16000 reads in
+ * the PMS configuration. Short epochs adapt faster but compute SLHs
+ * from fewer samples; long epochs lag phase changes.
+ */
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "sim/experiment.hpp"
+#include "sim/system.hpp"
+#include "trace/synthetic.hpp"
+
+namespace
+{
+
+asd::Cycle
+runWithEpoch(const asd::Benchmark &bench, std::uint32_t epoch_reads)
+{
+    using namespace asd;
+    RunOptions options;
+    options.mode = PrefetchMode::PMS;
+    SystemConfig config = makeSystemConfig(options);
+    config.asd.epoch_reads = epoch_reads;
+
+    SyntheticConfig trace_config = bench.trace;
+    trace_config.total_accesses = scaledAccesses(bench, options);
+    SyntheticTraceGenerator trace(trace_config);
+    System system(config, {&trace});
+    return system.run().cycles;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace asd;
+
+    const std::vector<std::uint32_t> epochs = {500, 1000, 2000, 4000,
+                                               8000, 16000};
+    std::vector<std::string> header = {"benchmark"};
+    for (const std::uint32_t epoch : epochs)
+        header.push_back(std::to_string(epoch));
+    Table table(header);
+
+    const std::vector<Benchmark> benches = detailedStudyBenchmarks();
+    std::vector<double> sums(epochs.size(), 0.0);
+    for (const Benchmark &bench : benches) {
+        const Cycle base = runWithEpoch(bench, 2000);
+        std::vector<std::string> cells = {bench.name};
+        for (std::size_t i = 0; i < epochs.size(); ++i) {
+            const Cycle cycles = epochs[i] == 2000
+                                     ? base
+                                     : runWithEpoch(bench, epochs[i]);
+            const double rel = static_cast<double>(base) /
+                               static_cast<double>(cycles);
+            sums[i] += rel;
+            cells.push_back(Table::num(rel, 3));
+        }
+        table.addRow(cells);
+    }
+    std::vector<std::string> avg = {"Average"};
+    for (const double sum : sums)
+        avg.push_back(
+            Table::num(sum / static_cast<double>(benches.size()), 3));
+    table.addRow(avg);
+
+    std::cout << "Epoch-length sensitivity (PMS performance relative "
+                 "to the paper's 2000-read epoch; higher is "
+                 "better)\n\n";
+    table.print(std::cout);
+    std::cout << "\npaper: epoch fixed at 2000 reads, no sensitivity "
+                 "study\n";
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Extension experiment: non-unit-stride workloads. ASD's Stream
+ * Filter only follows unit-stride runs — the paper's own framing
+ * ("accesses to k consecutive cache lines"). This bench builds
+ * variants of a streaming workload whose streams walk with strides
+ * 1..4 and compares ASD against the stride prefetcher and next-line
+ * in the MS configuration. As the stride mix moves away from 1, ASD
+ * and next-line fade while the stride unit keeps its coverage.
+ */
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "sim/experiment.hpp"
+#include "sim/system.hpp"
+#include "trace/synthetic.hpp"
+
+namespace
+{
+
+using namespace asd;
+
+SyntheticConfig
+stridedWorkload(double unit_share)
+{
+    SyntheticConfig config;
+    config.seed = 4242;
+    config.total_accesses = 300000;
+    config.working_set_bytes = 512ULL << 20;
+    config.mean_gap = 6.0;
+    config.mean_touches_per_line = 10.0;
+    config.write_frac = 0.2;
+    config.reuse_frac = 0.2;
+    config.dependent_frac = 0.12;
+    config.negative_dir_frac = 0.05;
+    config.concurrent_streams = 6;
+    config.phases = {PhaseProfile{{0.1, 0.15, 0.2, 0.3, 0.5, 0.7, 1.0,
+                                   0.9, 0.6, 0.4},
+                                  0}};
+    const double rest = (1.0 - unit_share) / 3.0;
+    config.stride_weights = {unit_share, rest, rest, rest};
+    return config;
+}
+
+Cycle
+run(const SyntheticConfig &workload, PrefetchMode mode,
+    McPrefetcherKind kind)
+{
+    SyntheticConfig trace_config = workload;
+    trace_config.total_accesses = static_cast<std::uint64_t>(
+        static_cast<double>(trace_config.total_accesses) *
+        benchScale());
+    SyntheticTraceGenerator trace(trace_config);
+    RunOptions options;
+    options.mode = mode;
+    options.mc_prefetcher = kind;
+    SystemConfig config = makeSystemConfig(options);
+    System system(config, {&trace});
+    return system.run().cycles;
+}
+
+} // namespace
+
+int
+main()
+{
+    Table table({"unit_stride_share", "ASD", "stride_pf", "nextline"});
+    for (const double share : {1.0, 0.75, 0.5, 0.25, 0.0}) {
+        const SyntheticConfig workload = stridedWorkload(share);
+        const Cycle np = run(workload, PrefetchMode::NP,
+                             McPrefetcherKind::Asd);
+        std::vector<std::string> cells = {Table::num(share, 2)};
+        for (const McPrefetcherKind kind :
+             {McPrefetcherKind::Asd, McPrefetcherKind::Stride,
+              McPrefetcherKind::NextLine}) {
+            const Cycle cycles =
+                run(workload, PrefetchMode::MS, kind);
+            cells.push_back(Table::num(perfGainPct(np, cycles)));
+        }
+        table.addRow(cells);
+    }
+
+    std::cout << "Non-unit-stride workloads: MS gain over NP "
+                 "(percent) as the unit-stride share falls\n\n";
+    table.print(std::cout);
+    std::cout << "\nASD follows only unit-stride streams (paper "
+                 "section 1); the Baer-Chen-style stride unit keeps "
+                 "covering strided walks\n";
+    return 0;
+}

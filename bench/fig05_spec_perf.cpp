@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Figure 5: performance improvements for the SPEC2006fp benchmark
+ * analogs — PMS vs NP, MS vs NP, and PMS vs PS for all 17 programs.
+ */
+
+#include "suite_perf.hpp"
+
+int
+main()
+{
+    asd_bench::runSuitePerfFigure(
+        asd::Suite::Spec2006fp, "Figure 5",
+        "paper averages: PMS vs NP 32.7, MS vs NP 14.6, "
+        "PMS vs PS 10.2 (range 0-68.6 for PMS vs NP)");
+    return 0;
+}

@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Figure 6: performance improvements for the NAS benchmark analogs —
+ * PMS vs NP, MS vs NP, and PMS vs PS for the eight class-B programs.
+ */
+
+#include "suite_perf.hpp"
+
+int
+main()
+{
+    asd_bench::runSuitePerfFigure(
+        asd::Suite::Nas, "Figure 6",
+        "paper averages: PMS vs NP 24.2, MS vs NP 11.7, "
+        "PMS vs PS 8.1");
+    return 0;
+}

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Figure 7: performance improvements for the commercial benchmark
+ * analogs (tpcc, trade2, cpw2, sap, notesbench) — PMS vs NP, MS vs
+ * NP, and PMS vs PS. These are the low-spatial-locality workloads the
+ * paper highlights.
+ */
+
+#include "suite_perf.hpp"
+
+int
+main()
+{
+    asd_bench::runSuitePerfFigure(
+        asd::Suite::Commercial, "Figure 7",
+        "paper averages: PMS vs NP 15.1, MS vs NP 9.3, "
+        "PMS vs PS 8.4");
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the simulator's hot paths:
+ * Stream Filter observation, LHT updates and decisions, Prefetch
+ * Buffer probes, DRAM command issue, and the synthetic trace
+ * generator. These bound the simulator's cost per modeled event.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/likelihood_table.hpp"
+#include "core/prefetch_buffer.hpp"
+#include "core/stream_filter.hpp"
+#include "dram/dram.hpp"
+#include "trace/synthetic.hpp"
+
+namespace
+{
+
+using namespace asd;
+
+void
+BM_StreamFilterObserve(benchmark::State &state)
+{
+    StreamFilter filter(8, 1500, 1500);
+    LineAddr line = 0;
+    Cycle now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(filter.observe(line, now));
+        line += (line % 7 == 0) ? 100 : 1; // mixed extends/allocs
+        now += 10;
+        if (now % 5000 == 0)
+            filter.expireLifetimes(now);
+    }
+}
+BENCHMARK(BM_StreamFilterObserve);
+
+void
+BM_LhtRecordAndDecide(benchmark::State &state)
+{
+    LikelihoodTablePair pair(16);
+    std::uint64_t len = 1;
+    for (auto _ : state) {
+        pair.streamDied(len);
+        len = len % 16 + 1;
+        benchmark::DoNotOptimize(pair.curr().shouldPrefetch(len % 15 + 1));
+    }
+}
+BENCHMARK(BM_LhtRecordAndDecide);
+
+void
+BM_PrefetchBufferProbe(benchmark::State &state)
+{
+    PrefetchBuffer buffer(16, 4);
+    for (LineAddr line = 0; line < 16; ++line)
+        buffer.insert(line);
+    LineAddr line = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(buffer.contains(line));
+        buffer.insert(line + 17);
+        line = (line + 1) % 32;
+    }
+}
+BENCHMARK(BM_PrefetchBufferProbe);
+
+void
+BM_DramIssue(benchmark::State &state)
+{
+    DramConfig config;
+    Dram dram(config);
+    LineAddr line = 0;
+    Cycle now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dram.issue(line, false, false, now));
+        line += 64; // hop banks
+        now += 20;
+    }
+}
+BENCHMARK(BM_DramIssue);
+
+void
+BM_SyntheticTraceNext(benchmark::State &state)
+{
+    SyntheticConfig config;
+    config.total_accesses = ~std::uint64_t{0} >> 1;
+    config.phases = {PhaseProfile{{1.0, 2.0, 1.0, 0.5}, 0}};
+    SyntheticTraceGenerator gen(config);
+    MemAccess access;
+    for (auto _ : state) {
+        gen.next(access);
+        benchmark::DoNotOptimize(access);
+    }
+}
+BENCHMARK(BM_SyntheticTraceNext);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Section 5.3, "Interaction with the Memory Scheduler": how the
+ * benefit of the ASD prefetcher changes under the three reorder-queue
+ * schedulers — AHB (default), memoryless, and in-order. The paper
+ * finds the prefetcher's gain shrinks ~1% under memoryless and ~5%
+ * under in-order: prefetching matters more as other memory
+ * bottlenecks are removed.
+ */
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "sim/experiment.hpp"
+
+int
+main()
+{
+    using namespace asd;
+
+    const std::vector<Benchmark> benches = detailedStudyBenchmarks();
+    const std::vector<std::pair<SchedulerKind, std::string>> scheds = {
+        {SchedulerKind::Ahb, "AHB"},
+        {SchedulerKind::FrFcfs, "FR-FCFS"},
+        {SchedulerKind::Memoryless, "memoryless"},
+        {SchedulerKind::InOrder, "in-order"},
+    };
+
+    Table table({"scheduler", "avg_PMS_vs_PS_gain_pct"});
+    std::vector<double> gains;
+    for (const auto &[kind, name] : scheds) {
+        double sum = 0.0;
+        for (const Benchmark &bench : benches) {
+            RunOptions options;
+            options.scheduler = kind;
+            options.mode = PrefetchMode::PS;
+            const RunMetrics ps = runBenchmark(bench, options);
+            options.mode = PrefetchMode::PMS;
+            const RunMetrics pms = runBenchmark(bench, options);
+            sum += perfGainPct(ps.cycles, pms.cycles);
+        }
+        const double avg = sum / static_cast<double>(benches.size());
+        gains.push_back(avg);
+        table.addRow({name, Table::num(avg, 2)});
+    }
+
+    std::cout << "Section 5.3: prefetcher gain under different "
+                 "memory schedulers (avg over the 8 detailed-study "
+                 "benchmarks)\n\n";
+    table.print(std::cout);
+    std::cout << "\ngain reduction vs AHB: FR-FCFS "
+              << Table::num(gains[0] - gains[1], 2) << ", memoryless "
+              << Table::num(gains[0] - gains[2], 2) << ", in-order "
+              << Table::num(gains[0] - gains[3], 2) << " points\n";
+    std::cout << "paper: gain reduced ~1% with memoryless and ~5% "
+                 "with in-order scheduling\n";
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Section 5.2 SMT results: two threads co-running on one core with
+ * per-thread Stream Filters and LHTs but a shared Prefetch Buffer
+ * (the paper's SMT methodology). Reports suite-average PMS vs NP and
+ * PMS vs PS for pairs of each benchmark with itself (different
+ * trace seeds per thread).
+ *
+ * Paper: PMS vs NP 28.5 / 20.4 / 11.1 percent and PMS vs PS
+ * 10.7 / 9.2 / 7.5 percent for SPEC2006fp / NAS / commercial —
+ * close to the single-threaded results.
+ */
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "sim/experiment.hpp"
+
+namespace
+{
+
+void
+runSuite(asd::Suite suite)
+{
+    const auto &benches = asd::suiteBenchmarks(suite);
+    double sum_pms_np = 0.0;
+    double sum_pms_ps = 0.0;
+    asd::Table table({"benchmark_pair", "PMS_vs_NP", "PMS_vs_PS"});
+    for (const asd::Benchmark &bench : benches) {
+        asd::RunOptions options;
+        options.mode = asd::PrefetchMode::NP;
+        const asd::RunMetrics np =
+            asd::runSmtPair(bench, bench, options);
+        options.mode = asd::PrefetchMode::PS;
+        const asd::RunMetrics ps =
+            asd::runSmtPair(bench, bench, options);
+        options.mode = asd::PrefetchMode::PMS;
+        const asd::RunMetrics pms =
+            asd::runSmtPair(bench, bench, options);
+
+        const double pms_np = asd::perfGainPct(np.cycles, pms.cycles);
+        const double pms_ps = asd::perfGainPct(ps.cycles, pms.cycles);
+        sum_pms_np += pms_np;
+        sum_pms_ps += pms_ps;
+        table.addRow({bench.name + "x2", asd::Table::num(pms_np),
+                      asd::Table::num(pms_ps)});
+    }
+    const double n = static_cast<double>(benches.size());
+    table.addRow({"Average", asd::Table::num(sum_pms_np / n),
+                  asd::Table::num(sum_pms_ps / n)});
+    std::cout << asd::suiteName(suite) << " (SMT, 2 threads)\n";
+    table.print(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Section 5.2: SMT performance results\n\n";
+    runSuite(asd::Suite::Spec2006fp);
+    runSuite(asd::Suite::Nas);
+    runSuite(asd::Suite::Commercial);
+    std::cout << "paper: PMS vs NP 28.5/20.4/11.1, PMS vs PS "
+                 "10.7/9.2/7.5 (SPEC/NAS/commercial)\n";
+    return 0;
+}

@@ -1,0 +1,92 @@
+#ifndef ASD_BENCH_SUITE_PERF_HPP
+#define ASD_BENCH_SUITE_PERF_HPP
+
+/**
+ * @file
+ * Shared driver for the Figs. 5/6/7 performance benches: run every
+ * benchmark of a suite in the four configurations and print the
+ * paper's three comparisons (PMS vs NP, MS vs NP, PMS vs PS) plus the
+ * suite averages.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "sim/experiment.hpp"
+
+namespace asd_bench
+{
+
+/** Per-benchmark result of the four-configuration sweep. */
+struct SuiteRow
+{
+    std::string name;
+    asd::RunMetrics np;
+    asd::RunMetrics ps;
+    asd::RunMetrics ms;
+    asd::RunMetrics pms;
+};
+
+/** Run the full four-way sweep for @p bench. */
+inline SuiteRow
+runFourWay(const asd::Benchmark &bench)
+{
+    SuiteRow row;
+    row.name = bench.name;
+    asd::RunOptions options;
+    options.mode = asd::PrefetchMode::NP;
+    row.np = asd::runBenchmark(bench, options);
+    options.mode = asd::PrefetchMode::PS;
+    row.ps = asd::runBenchmark(bench, options);
+    options.mode = asd::PrefetchMode::MS;
+    row.ms = asd::runBenchmark(bench, options);
+    options.mode = asd::PrefetchMode::PMS;
+    row.pms = asd::runBenchmark(bench, options);
+    return row;
+}
+
+/** Print the figure's table for @p suite; returns the rows. */
+inline std::vector<SuiteRow>
+runSuitePerfFigure(asd::Suite suite, const std::string &figure,
+                   const std::string &paper_note)
+{
+    const auto &benches = asd::suiteBenchmarks(suite);
+    std::cout << figure << ": performance improvements for the "
+              << asd::suiteName(suite) << " benchmarks (percent)\n\n";
+
+    asd::Table table(
+        {"benchmark", "PMS_vs_NP", "MS_vs_NP", "PMS_vs_PS"});
+    std::vector<SuiteRow> rows;
+    double sum_pms_np = 0.0;
+    double sum_ms_np = 0.0;
+    double sum_pms_ps = 0.0;
+    for (const asd::Benchmark &bench : benches) {
+        const SuiteRow row = runFourWay(bench);
+        const double pms_np =
+            asd::perfGainPct(row.np.cycles, row.pms.cycles);
+        const double ms_np =
+            asd::perfGainPct(row.np.cycles, row.ms.cycles);
+        const double pms_ps =
+            asd::perfGainPct(row.ps.cycles, row.pms.cycles);
+        sum_pms_np += pms_np;
+        sum_ms_np += ms_np;
+        sum_pms_ps += pms_ps;
+        table.addRow({row.name, asd::Table::num(pms_np),
+                      asd::Table::num(ms_np),
+                      asd::Table::num(pms_ps)});
+        rows.push_back(row);
+    }
+    const double n = static_cast<double>(benches.size());
+    table.addRow({"Average", asd::Table::num(sum_pms_np / n),
+                  asd::Table::num(sum_ms_np / n),
+                  asd::Table::num(sum_pms_ps / n)});
+    table.print(std::cout);
+    std::cout << "\n" << paper_note << "\n";
+    return rows;
+}
+
+} // namespace asd_bench
+
+#endif // ASD_BENCH_SUITE_PERF_HPP

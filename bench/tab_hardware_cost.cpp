@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Section 5.1 hardware cost accounting: storage bits of every ASD
+ * structure for the evaluated configuration (and the 2- and 4-thread
+ * variants), contrasted with the 64 KB-per-thread spatial-locality
+ * tables of competing designs. The paper reports the whole prefetcher
+ * adds ~6.08% to the memory controller area and ~0.098% to chip area;
+ * we reproduce the storage side of that argument analytically.
+ */
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/hw_cost.hpp"
+
+int
+main()
+{
+    using namespace asd;
+
+    std::cout << "Section 5.1: ASD hardware storage cost\n\n";
+
+    Table table({"threads", "filter_bits/t", "lht_bits/t",
+                 "comparators/t", "buffer_bits", "lpq_bits",
+                 "total_KiB", "64KB_tables_KiB"});
+    for (const std::uint32_t threads : {1u, 2u, 4u}) {
+        AsdConfig config;
+        config.threads = threads;
+        const HwCost cost = computeHwCost(config);
+        table.addRow({std::to_string(threads),
+                      std::to_string(cost.stream_filter_bits),
+                      std::to_string(cost.lht_bits),
+                      std::to_string(cost.comparator_count),
+                      std::to_string(cost.prefetch_buffer_bits),
+                      std::to_string(cost.lpq_bits),
+                      Table::num(cost.totalKiB(), 2),
+                      std::to_string(64 * threads)});
+    }
+    table.print(std::cout);
+
+    const HwCost one = computeHwCost(AsdConfig{});
+    std::cout << "\nper-thread ASD state: "
+              << Table::num(static_cast<double>(one.perThreadBits()) /
+                                8.0 / 1024.0,
+                            3)
+              << " KiB vs 64 KiB for a spatial-locality table ("
+              << Table::num(64.0 * 8.0 * 1024.0 /
+                                static_cast<double>(
+                                    one.perThreadBits()),
+                            0)
+              << "x smaller)\n";
+    std::cout << "paper: prefetcher adds ~6.08% to the memory "
+                 "controller, 0.098% to total chip area, and ~0.06% "
+                 "to chip power; a 4-thread 64KB-table design would "
+                 "add ~2.4% to chip power\n";
+    return 0;
+}

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Command-line driver for the simulator: run any benchmark in any
+ * configuration with every knob exposed, printing a report or a CSV
+ * row. The scriptable front door for parameter studies beyond the
+ * bundled figure benches.
+ *
+ * Examples:
+ *   asdsim_cli --list
+ *   asdsim_cli --bench lbm --mode PMS
+ *   asdsim_cli --bench tpcc --mode MS --mc-prefetcher nextline --csv
+ *   asdsim_cli --bench GemsFDTD --mode PMS --ps asd --smt
+ *   asdsim_cli --bench milc --scheduler frfcfs --policy 3 --buffer 32
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/table.hpp"
+#include "sim/experiment.hpp"
+
+namespace
+{
+
+using namespace asd;
+
+struct CliArgs
+{
+    std::string bench = "GemsFDTD";
+    RunOptions options;
+    bool csv = false;
+    bool smt = false;
+    bool list = false;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::cout <<
+        "usage: asdsim_cli [options]\n"
+        "  --list                 list benchmarks and exit\n"
+        "  --bench NAME           benchmark to run (default GemsFDTD)\n"
+        "  --mode NP|PS|MS|PMS    prefetch configuration (default PMS)\n"
+        "  --ps power5|asd        processor-side prefetcher kind\n"
+        "  --mc-prefetcher asd|nextline|p5|ghb|stride\n"
+        "                         memory-side prefetcher kind\n"
+        "  --scheduler ahb|memoryless|inorder|frfcfs\n"
+        "  --policy N             pin the LPQ policy (1..5)\n"
+        "  --buffer N             prefetch buffer lines (default 16)\n"
+        "  --slots N              stream filter slots (default 8)\n"
+        "  --degree N             max prefetch degree (default 1)\n"
+        "  --saturate             keep prefetching streams beyond Lm\n"
+        "  --ps-oracle            idealized (instant, free) PS fills\n"
+        "  --accesses N           trace length override\n"
+        "  --smt                  co-run two copies (SMT pair)\n"
+        "  --csv                  emit one CSV row instead of a table\n";
+    std::exit(0);
+}
+
+PrefetchMode
+parseMode(const std::string &text)
+{
+    if (text == "NP")
+        return PrefetchMode::NP;
+    if (text == "PS")
+        return PrefetchMode::PS;
+    if (text == "MS")
+        return PrefetchMode::MS;
+    if (text == "PMS")
+        return PrefetchMode::PMS;
+    fatal("unknown mode: " + text);
+}
+
+SchedulerKind
+parseScheduler(const std::string &text)
+{
+    if (text == "ahb")
+        return SchedulerKind::Ahb;
+    if (text == "memoryless")
+        return SchedulerKind::Memoryless;
+    if (text == "inorder")
+        return SchedulerKind::InOrder;
+    if (text == "frfcfs")
+        return SchedulerKind::FrFcfs;
+    fatal("unknown scheduler: " + text);
+}
+
+CliArgs
+parseArgs(int argc, char **argv)
+{
+    CliArgs args;
+    std::vector<std::string> tokens(argv + 1, argv + argc);
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        const std::string &tok = tokens[i];
+        auto next = [&]() -> std::string {
+            if (++i >= tokens.size())
+                fatal("missing value after " + tok);
+            return tokens[i];
+        };
+        if (tok == "--help" || tok == "-h") {
+            usage();
+        } else if (tok == "--list") {
+            args.list = true;
+        } else if (tok == "--bench") {
+            args.bench = next();
+        } else if (tok == "--mode") {
+            args.options.mode = parseMode(next());
+        } else if (tok == "--ps") {
+            const std::string v = next();
+            if (v == "asd")
+                args.options.ps_kind = PsKind::Asd;
+            else if (v != "power5")
+                fatal("unknown --ps kind: " + v);
+        } else if (tok == "--mc-prefetcher") {
+            const std::string v = next();
+            if (v == "nextline")
+                args.options.mc_prefetcher = McPrefetcherKind::NextLine;
+            else if (v == "p5")
+                args.options.mc_prefetcher = McPrefetcherKind::P5Style;
+            else if (v == "ghb")
+                args.options.mc_prefetcher = McPrefetcherKind::Ghb;
+            else if (v == "stride")
+                args.options.mc_prefetcher = McPrefetcherKind::Stride;
+            else if (v != "asd")
+                fatal("unknown --mc-prefetcher kind: " + v);
+        } else if (tok == "--scheduler") {
+            args.options.scheduler = parseScheduler(next());
+        } else if (tok == "--policy") {
+            args.options.fixed_policy = std::atoi(next().c_str());
+        } else if (tok == "--buffer") {
+            args.options.buffer_lines =
+                static_cast<std::uint32_t>(std::atoi(next().c_str()));
+        } else if (tok == "--slots") {
+            args.options.filter_slots =
+                static_cast<std::uint32_t>(std::atoi(next().c_str()));
+        } else if (tok == "--degree") {
+            args.options.max_degree =
+                static_cast<std::uint32_t>(std::atoi(next().c_str()));
+        } else if (tok == "--saturate") {
+            args.options.saturate_long_streams = true;
+        } else if (tok == "--ps-oracle") {
+            args.options.ps_oracle = true;
+        } else if (tok == "--accesses") {
+            args.options.accesses = static_cast<std::uint64_t>(
+                std::atoll(next().c_str()));
+        } else if (tok == "--smt") {
+            args.smt = true;
+        } else if (tok == "--csv") {
+            args.csv = true;
+        } else {
+            fatal("unknown argument: " + tok + " (try --help)");
+        }
+    }
+    return args;
+}
+
+void
+listBenchmarks()
+{
+    for (const Suite suite :
+         {Suite::Spec2006fp, Suite::Nas, Suite::Commercial}) {
+        std::cout << suiteName(suite) << ":";
+        for (const Benchmark &bench : suiteBenchmarks(suite))
+            std::cout << " " << bench.name;
+        std::cout << "\n";
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args = parseArgs(argc, argv);
+    if (args.list) {
+        listBenchmarks();
+        return 0;
+    }
+
+    const Benchmark &bench = findBenchmark(args.bench);
+    const RunMetrics m =
+        args.smt ? runSmtPair(bench, bench, args.options)
+                 : runBenchmark(bench, args.options);
+
+    if (args.csv) {
+        std::cout << args.bench << "," << m.cycles << ","
+                  << m.accesses << "," << Table::num(m.dram_watts, 3)
+                  << "," << Table::num(m.dram_energy_mj, 3) << ","
+                  << Table::num(m.coverage_pct, 2) << ","
+                  << Table::num(m.useful_prefetch_pct, 2) << ","
+                  << Table::num(m.delayed_regular_pct, 2) << ","
+                  << m.ms_prefetches_issued << "," << m.mc_reads << ","
+                  << m.mc_writes << "\n";
+        return 0;
+    }
+
+    Table table({"metric", "value"});
+    table.addRow({"benchmark", args.bench});
+    table.addRow({"cycles", std::to_string(m.cycles)});
+    table.addRow({"accesses", std::to_string(m.accesses)});
+    table.addRow({"dram_watts", Table::num(m.dram_watts, 3)});
+    table.addRow({"dram_energy_mj", Table::num(m.dram_energy_mj, 3)});
+    table.addRow({"coverage_pct", Table::num(m.coverage_pct, 2)});
+    table.addRow(
+        {"useful_prefetch_pct", Table::num(m.useful_prefetch_pct, 2)});
+    table.addRow({"delayed_regular_pct",
+                  Table::num(m.delayed_regular_pct, 2)});
+    table.addRow({"ms_prefetches_issued",
+                  std::to_string(m.ms_prefetches_issued)});
+    table.addRow({"mc_reads", std::to_string(m.mc_reads)});
+    table.addRow({"mc_writes", std::to_string(m.mc_writes)});
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Domain example: the paper's headline scenario — commercial server
+ * workloads with low spatial locality. Sweeps the five commercial
+ * analogs (OLTP, web brokerage, CPW, SAP, Lotus Notes), shows how
+ * short their streams are, and quantifies what ASD memory-side
+ * prefetching still extracts from them (paper section 5.2: 15.1%
+ * over NP, 8.4% over PS).
+ */
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/asd_prefetcher.hpp"
+#include "sim/experiment.hpp"
+#include "sim/system.hpp"
+#include "trace/synthetic.hpp"
+
+int
+main()
+{
+    using namespace asd;
+
+    std::cout
+        << "Commercial server study: prefetching with low spatial "
+           "locality\n"
+        << "===========================================================\n\n";
+
+    Table table({"workload", "short_streams_pct", "PMS_vs_NP",
+                 "PMS_vs_PS", "coverage%", "useful%"});
+    for (const Benchmark &bench :
+         suiteBenchmarks(Suite::Commercial)) {
+        RunOptions options;
+        options.mode = PrefetchMode::NP;
+        const RunMetrics np = runBenchmark(bench, options);
+        options.mode = PrefetchMode::PS;
+        const RunMetrics ps = runBenchmark(bench, options);
+
+        // PMS run with access to the live prefetcher for stream stats.
+        options.mode = PrefetchMode::PMS;
+        SyntheticConfig trace_config = bench.trace;
+        trace_config.total_accesses = scaledAccesses(bench, options);
+        SyntheticTraceGenerator trace(trace_config);
+        System system(makeSystemConfig(options), {&trace});
+        const RunMetrics pms = system.run();
+
+        const Histogram &hist = system.asd()->streamLengthHist();
+        double short_pct = 0.0;
+        for (std::uint64_t len = 1; len <= 5; ++len)
+            short_pct += hist.fraction(len) * 100.0;
+
+        table.addRow({bench.name, Table::num(short_pct),
+                      Table::num(perfGainPct(np.cycles, pms.cycles)),
+                      Table::num(perfGainPct(ps.cycles, pms.cycles)),
+                      Table::num(pms.coverage_pct),
+                      Table::num(pms.useful_prefetch_pct)});
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\nEven with 78-96% of streams at length <= 5, the Stream "
+           "Length\nHistogram lets ASD prefetch exactly the short "
+           "runs that exist\ninstead of chasing streams that are "
+           "not there.\n";
+    return 0;
+}

@@ -1,0 +1,66 @@
+#include "common/histogram.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace asd
+{
+
+Histogram::Histogram(std::size_t buckets)
+    : counts_(buckets, 0)
+{
+    panicIfNot(buckets > 0, "Histogram needs at least one bucket");
+}
+
+std::size_t
+Histogram::indexOf(std::uint64_t value) const
+{
+    panicIfNot(value >= 1, "Histogram values are 1-based");
+    const std::size_t idx = static_cast<std::size_t>(value - 1);
+    return idx >= counts_.size() ? counts_.size() - 1 : idx;
+}
+
+void
+Histogram::add(std::uint64_t value, std::uint64_t count)
+{
+    counts_[indexOf(value)] += count;
+    total_ += count;
+}
+
+std::uint64_t
+Histogram::count(std::uint64_t value) const
+{
+    return counts_[indexOf(value)];
+}
+
+double
+Histogram::fraction(std::uint64_t value) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(count(value)) /
+           static_cast<double>(total_);
+}
+
+void
+Histogram::clear()
+{
+    counts_.assign(counts_.size(), 0);
+    total_ = 0;
+}
+
+double
+Histogram::l1Distance(const Histogram &other) const
+{
+    panicIfNot(other.counts_.size() == counts_.size(),
+               "Histogram::l1Distance requires equal bucket counts");
+    double sum = 0.0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        sum += std::fabs(fraction(static_cast<std::uint64_t>(i + 1)) -
+                         other.fraction(static_cast<std::uint64_t>(i + 1)));
+    }
+    return sum;
+}
+
+} // namespace asd

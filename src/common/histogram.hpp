@@ -1,0 +1,61 @@
+#ifndef ASD_COMMON_HISTOGRAM_HPP
+#define ASD_COMMON_HISTOGRAM_HPP
+
+/**
+ * @file
+ * A fixed-size counting histogram with a saturating last bucket. The
+ * Stream Length Histogram of the paper (Figs. 2/3/16) is an instance
+ * of this with 16 buckets, where bucket 16 means "length 16 or more".
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace asd
+{
+
+/**
+ * Counting histogram over 1-based integer values; values above the
+ * bucket count saturate into the last bucket.
+ */
+class Histogram
+{
+  public:
+    /** @param buckets number of buckets (values 1..buckets). */
+    explicit Histogram(std::size_t buckets);
+
+    /** Record @p value with multiplicity @p count. Values < 1 panic. */
+    void add(std::uint64_t value, std::uint64_t count = 1);
+
+    /** Count in bucket @p value (1-based; saturating). */
+    std::uint64_t count(std::uint64_t value) const;
+
+    /** Sum of all bucket counts. */
+    std::uint64_t total() const { return total_; }
+
+    /** Bucket share of the total, in [0,1]; 0 when empty. */
+    double fraction(std::uint64_t value) const;
+
+    /** Number of buckets. */
+    std::size_t buckets() const { return counts_.size(); }
+
+    /** Reset every bucket to zero. */
+    void clear();
+
+    /**
+     * Sum of absolute per-bucket fraction differences against another
+     * histogram of the same size (total variation distance x 2).
+     * Used by the Fig. 16 accuracy experiment.
+     */
+    double l1Distance(const Histogram &other) const;
+
+  private:
+    std::size_t indexOf(std::uint64_t value) const;
+
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace asd
+
+#endif // ASD_COMMON_HISTOGRAM_HPP

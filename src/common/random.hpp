@@ -1,0 +1,79 @@
+#ifndef ASD_COMMON_RANDOM_HPP
+#define ASD_COMMON_RANDOM_HPP
+
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the synthetic
+ * workload generators. A small xoshiro256** engine keeps runs
+ * reproducible across platforms and standard-library versions (the
+ * distributions in <random> are not portable bit-for-bit).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace asd
+{
+
+/**
+ * xoshiro256** PRNG. Deterministic for a given seed; passes BigCrush.
+ */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 expansion so any 64-bit seed is usable. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound), bound > 0. Debiased via rejection. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t nextInRange(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli trial with success probability @p p. */
+    bool chance(double p);
+
+  private:
+    std::uint64_t state_[4];
+};
+
+/**
+ * Sample from a fixed discrete distribution in O(1) using Walker's
+ * alias method. Used to draw stream lengths from a benchmark's
+ * stream-length PMF.
+ */
+class DiscreteSampler
+{
+  public:
+    /**
+     * Build from unnormalized weights; empty or all-zero weights are a
+     * fatal configuration error.
+     */
+    explicit DiscreteSampler(const std::vector<double> &weights);
+
+    /** Draw an index in [0, size()). */
+    std::size_t sample(Rng &rng) const;
+
+    /** Number of outcomes. */
+    std::size_t size() const { return prob_.size(); }
+
+    /** Normalized probability of outcome @p i. */
+    double probability(std::size_t i) const { return norm_[i]; }
+
+  private:
+    std::vector<double> prob_;       //!< alias-method cut-offs
+    std::vector<std::size_t> alias_; //!< alias targets
+    std::vector<double> norm_;       //!< normalized input PMF
+};
+
+} // namespace asd
+
+#endif // ASD_COMMON_RANDOM_HPP

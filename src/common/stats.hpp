@@ -1,0 +1,59 @@
+#ifndef ASD_COMMON_STATS_HPP
+#define ASD_COMMON_STATS_HPP
+
+/**
+ * @file
+ * A light statistics registry. Components own Counter objects that are
+ * registered under hierarchical dotted names; the registry can dump
+ * everything for reports and tests.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace asd
+{
+
+/** A named monotonically increasing 64-bit counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void inc(std::uint64_t by = 1) { value_ += by; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Registry mapping dotted stat names to counters owned elsewhere. The
+ * registry never owns counters; components register their members and
+ * must outlive the registry's users.
+ */
+class StatRegistry
+{
+  public:
+    /** Register @p counter under @p name; duplicate names panic. */
+    void add(const std::string &name, const Counter &counter);
+
+    /** Value of a registered counter; unknown names panic. */
+    std::uint64_t value(const std::string &name) const;
+
+    /** True if @p name is registered. */
+    bool has(const std::string &name) const;
+
+    /** All (name, value) pairs sorted by name. */
+    std::vector<std::pair<std::string, std::uint64_t>> dump() const;
+
+  private:
+    std::map<std::string, const Counter *> counters_;
+};
+
+} // namespace asd
+
+#endif // ASD_COMMON_STATS_HPP

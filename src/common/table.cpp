@@ -1,0 +1,73 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace asd
+{
+
+Table::Table(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    panicIfNot(!header_.empty(), "Table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    panicIfNot(row.size() == header_.size(),
+               "Table row width does not match header");
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << v;
+    return ss.str();
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(width[c]) + 2)
+               << row[c];
+        }
+        os << '\n';
+    };
+    emit(header_);
+    std::size_t total = 0;
+    for (auto w : width)
+        total += w + 2;
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << row[c] << (c + 1 == row.size() ? '\n' : ',');
+    };
+    emit(header_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+} // namespace asd

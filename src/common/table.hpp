@@ -1,0 +1,44 @@
+#ifndef ASD_COMMON_TABLE_HPP
+#define ASD_COMMON_TABLE_HPP
+
+/**
+ * @file
+ * Aligned text-table printer used by the bench binaries to emit the
+ * paper's figure/table series in both human-readable and CSV form.
+ */
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace asd
+{
+
+/** A simple column-aligned table with a header row. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append a row; its width must match the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format doubles to @p precision decimal places. */
+    static std::string num(double v, int precision = 1);
+
+    /** Render with aligned columns. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV. */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace asd
+
+#endif // ASD_COMMON_TABLE_HPP

@@ -1,0 +1,52 @@
+#ifndef ASD_COMMON_TYPES_HPP
+#define ASD_COMMON_TYPES_HPP
+
+/**
+ * @file
+ * Fundamental scalar types shared by every simulator module.
+ */
+
+#include <cstdint>
+
+namespace asd
+{
+
+/** Physical byte address. */
+using Addr = std::uint64_t;
+
+/** Cache-line-granular address (byte address >> line bits). */
+using LineAddr = std::uint64_t;
+
+/** Simulation time in CPU cycles. */
+using Cycle = std::uint64_t;
+
+/** A cycle delta. */
+using Cycles = std::uint64_t;
+
+/** Energy in picojoules. */
+using PicoJoule = double;
+
+/** Sentinel for "no cycle / not scheduled". */
+inline constexpr Cycle kNoCycle = ~Cycle{0};
+
+/** Direction of a detected stream. */
+enum class StreamDir : std::uint8_t { Positive, Negative };
+
+/** Flip a stream direction. */
+constexpr StreamDir
+opposite(StreamDir d)
+{
+    return d == StreamDir::Positive ? StreamDir::Negative
+                                    : StreamDir::Positive;
+}
+
+/** Signed line step for a direction (+1 or -1). */
+constexpr std::int64_t
+dirStep(StreamDir d)
+{
+    return d == StreamDir::Positive ? 1 : -1;
+}
+
+} // namespace asd
+
+#endif // ASD_COMMON_TYPES_HPP

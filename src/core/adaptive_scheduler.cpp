@@ -1,0 +1,51 @@
+#include "core/adaptive_scheduler.hpp"
+
+#include "common/log.hpp"
+
+namespace asd
+{
+
+AdaptiveScheduler::AdaptiveScheduler(const AdaptiveSchedConfig &config)
+    : config_(config),
+      policy_(config.adaptive ? config.start_policy
+                              : config.fixed_policy)
+{
+    if (policy_ < 1 || policy_ > 5)
+        fatal("AdaptiveScheduler: policy must be in 1..5");
+    if (config_.low_watermark > config_.high_watermark)
+        fatal("AdaptiveScheduler: low watermark above high watermark");
+}
+
+void
+AdaptiveScheduler::notifyConflict()
+{
+    ++epoch_conflicts_;
+    total_conflicts_.inc();
+}
+
+void
+AdaptiveScheduler::epochEnd()
+{
+    if (config_.adaptive) {
+        if (epoch_conflicts_ > config_.high_watermark && policy_ > 1) {
+            --policy_;
+            policy_down_.inc();
+        } else if (epoch_conflicts_ < config_.low_watermark &&
+                   policy_ < 5) {
+            ++policy_;
+            policy_up_.inc();
+        }
+    }
+    epoch_conflicts_ = 0;
+}
+
+void
+AdaptiveScheduler::registerStats(StatRegistry &registry,
+                                 const std::string &prefix) const
+{
+    registry.add(prefix + ".conflicts", total_conflicts_);
+    registry.add(prefix + ".policy_up", policy_up_);
+    registry.add(prefix + ".policy_down", policy_down_);
+}
+
+} // namespace asd

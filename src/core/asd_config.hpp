@@ -1,0 +1,85 @@
+#ifndef ASD_CORE_ASD_CONFIG_HPP
+#define ASD_CORE_ASD_CONFIG_HPP
+
+/**
+ * @file
+ * Configuration of the Adaptive Stream Detection prefetcher. Defaults
+ * are the paper's evaluated design point (section 5.1): 8 stream
+ * filter slots and 16-entry LHTs per thread, a shared 16-line (2 KB)
+ * prefetch buffer, 2000-read epochs.
+ */
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace asd
+{
+
+/** Adaptive Scheduling (section 3.5) parameters. */
+struct AdaptiveSchedConfig
+{
+    /** False pins @c fixed_policy for the Fig. 11 ablation. */
+    bool adaptive = true;
+
+    /** Policy used when @c adaptive is false (1..5). */
+    int fixed_policy = 1;
+
+    /** Policy the adaptive mode starts from. */
+    int start_policy = 3;
+
+    /**
+     * Hysteresis thresholds on prefetch-induced conflicts per epoch:
+     * above @c high_watermark the policy steps toward conservative
+     * (1); below @c low_watermark it steps toward aggressive (5).
+     */
+    std::uint32_t high_watermark = 24;
+    std::uint32_t low_watermark = 8;
+};
+
+/** Full ASD prefetcher configuration. */
+struct AsdConfig
+{
+    /** Stream Filter slots per hardware thread. */
+    std::uint32_t filter_slots = 8;
+
+    /** LHT entries = longest tracked stream length (Lm). */
+    std::uint32_t lht_entries = 16;
+
+    /** Epoch length in Read commands. */
+    std::uint32_t epoch_reads = 2000;
+
+    /** Initial stream lifetime in CPU cycles. */
+    Cycles lifetime_init = 1200;
+
+    /** Lifetime added on each stream extension. */
+    Cycles lifetime_extend = 1800;
+
+    /** Prefetch Buffer capacity in cache lines. */
+    std::uint32_t buffer_lines = 16;
+
+    /** Prefetch Buffer associativity. */
+    std::uint32_t buffer_ways = 4;
+
+    /**
+     * Maximum prefetch degree. 1 reproduces the paper; larger values
+     * enable the multi-line extension via inequality (6).
+     */
+    std::uint32_t max_degree = 1;
+
+    /**
+     * Keep prefetching for streams longer than Lm. The paper's math
+     * (lht(i > Lm) = 0) stops at the Lm-th element; this flag is the
+     * obvious engineering fix, off by default for paper fidelity.
+     */
+    bool saturate_long_streams = false;
+
+    /** Hardware threads (each gets its own filter + LHTs). */
+    std::uint32_t threads = 1;
+
+    AdaptiveSchedConfig sched;
+};
+
+} // namespace asd
+
+#endif // ASD_CORE_ASD_CONFIG_HPP

@@ -1,0 +1,226 @@
+#include "core/asd_prefetcher.hpp"
+
+#include "common/log.hpp"
+
+namespace asd
+{
+
+AsdPrefetcher::ThreadState::ThreadState(const AsdConfig &config)
+    : filter(config.filter_slots, config.lifetime_init,
+             config.lifetime_extend),
+      positive(config.lht_entries),
+      negative(config.lht_entries)
+{
+}
+
+AsdPrefetcher::AsdPrefetcher(const AsdConfig &config)
+    : config_(config),
+      buffer_(config.buffer_lines, config.buffer_ways),
+      sched_(config.sched),
+      stream_hist_(config.lht_entries)
+{
+    if (config_.threads == 0)
+        fatal("AsdPrefetcher: at least one thread required");
+    if (config_.epoch_reads == 0)
+        fatal("AsdPrefetcher: epoch length must be positive");
+    if (config_.max_degree == 0)
+        fatal("AsdPrefetcher: max_degree must be >= 1");
+    threads_.reserve(config_.threads);
+    for (std::uint32_t t = 0; t < config_.threads; ++t)
+        threads_.push_back(std::make_unique<ThreadState>(config_));
+}
+
+LikelihoodTablePair &
+AsdPrefetcher::tables(ThreadState &state, StreamDir dir)
+{
+    return dir == StreamDir::Positive ? state.positive : state.negative;
+}
+
+void
+AsdPrefetcher::streamDied(ThreadState &state, const DeadStream &dead)
+{
+    stream_hist_.add(dead.length);
+    tables(state, dead.dir).streamDied(dead.length);
+}
+
+void
+AsdPrefetcher::decide(ThreadState &state, const StreamObservation &obs,
+                      LineAddr line, std::vector<LineAddr> &out)
+{
+    const auto k = static_cast<std::size_t>(obs.length);
+    const LikelihoodTable &lht = tables(state, obs.dir).curr();
+
+    if (k >= config_.lht_entries) {
+        // Beyond the table the paper's math always answers "stop"
+        // (lht(i > Lm) = 0); the saturate option keeps following a
+        // confirmed long stream instead.
+        if (config_.saturate_long_streams) {
+            const std::int64_t step = dirStep(obs.dir);
+            if (obs.dir == StreamDir::Positive || line >= 1) {
+                out.push_back(static_cast<LineAddr>(
+                    static_cast<std::int64_t>(line) + step));
+                prefetches_suggested_.inc();
+                return;
+            }
+        }
+        decisions_negative_.inc();
+        return;
+    }
+
+    // Degree-d prefetching via inequality (6); consecutive prefix of
+    // lines after the current one (section 3.1's multi-line rule).
+    bool any = false;
+    for (std::size_t d = 1; d <= config_.max_degree; ++d) {
+        if (!lht.shouldPrefetch(k, d))
+            break;
+        const std::int64_t step =
+            dirStep(obs.dir) * static_cast<std::int64_t>(d);
+        if (obs.dir == StreamDir::Negative &&
+            line < static_cast<LineAddr>(d)) {
+            break; // would underflow the address space
+        }
+        out.push_back(static_cast<LineAddr>(
+            static_cast<std::int64_t>(line) + step));
+        prefetches_suggested_.inc();
+        any = true;
+    }
+    if (!any)
+        decisions_negative_.inc();
+}
+
+std::vector<LineAddr>
+AsdPrefetcher::observeRead(LineAddr line, std::uint32_t thread,
+                           Cycle now)
+{
+    panicIfNot(thread < threads_.size(),
+               "AsdPrefetcher: thread index out of range");
+    ThreadState &state = *threads_[thread];
+    std::vector<LineAddr> out;
+
+    const StreamObservation obs = state.filter.observe(line, now);
+    switch (obs.kind) {
+      case StreamObservation::Kind::Overflow:
+        // No slot: the SLH is updated as if a length-1 stream had
+        // been detected, and no prefetch is generated (section 3.3).
+        overflow_reads_.inc();
+        streamDied(state, {1, StreamDir::Positive});
+        break;
+      case StreamObservation::Kind::SameLine:
+        break; // lifetime refreshed; no new information
+      case StreamObservation::Kind::Allocated:
+      case StreamObservation::Kind::Extended:
+        decide(state, obs, line, out);
+        break;
+    }
+
+    if (++reads_this_epoch_ >= config_.epoch_reads)
+        endEpoch(now);
+    return out;
+}
+
+void
+AsdPrefetcher::endEpoch(Cycle now)
+{
+    (void)now;
+    for (auto &thread : threads_) {
+        // Remaining live streams fold into LHTnext before the swap.
+        std::vector<std::uint64_t> leftover_pos;
+        std::vector<std::uint64_t> leftover_neg;
+        for (const DeadStream &dead : thread->filter.flushAll()) {
+            stream_hist_.add(dead.length);
+            (dead.dir == StreamDir::Positive ? leftover_pos
+                                             : leftover_neg)
+                .push_back(dead.length);
+        }
+        thread->positive.epochEnd(leftover_pos);
+        thread->negative.epochEnd(leftover_neg);
+    }
+    sched_.epochEnd();
+    ++epochs_done_;
+    reads_this_epoch_ = 0;
+
+    if (slh_history_cap_ > 0 && slh_history_.size() < slh_history_cap_) {
+        SlhSnapshot snap;
+        snap.epoch = epochs_done_;
+        snap.positive = threads_[0]->positive.curr().counts();
+        snap.negative = threads_[0]->negative.curr().counts();
+        slh_history_.push_back(std::move(snap));
+    }
+}
+
+void
+AsdPrefetcher::observeWrite(LineAddr line, Cycle now)
+{
+    (void)now;
+    buffer_.invalidateOnWrite(line);
+}
+
+bool
+AsdPrefetcher::lookupBuffer(LineAddr line)
+{
+    return buffer_.consume(line);
+}
+
+bool
+AsdPrefetcher::bufferContains(LineAddr line) const
+{
+    return buffer_.contains(line);
+}
+
+void
+AsdPrefetcher::fillBuffer(LineAddr line, Cycle now)
+{
+    (void)now;
+    buffer_.insert(line);
+}
+
+int
+AsdPrefetcher::schedulingPolicy() const
+{
+    return sched_.policy();
+}
+
+void
+AsdPrefetcher::notifyPrefetchConflict(Cycle now)
+{
+    (void)now;
+    sched_.notifyConflict();
+}
+
+void
+AsdPrefetcher::tick(Cycle now)
+{
+    for (auto &thread : threads_)
+        for (const DeadStream &dead : thread->filter.expireLifetimes(now))
+            streamDied(*thread, dead);
+}
+
+void
+AsdPrefetcher::enableSlhHistory(std::size_t max_epochs)
+{
+    slh_history_cap_ = max_epochs;
+    slh_history_.reserve(max_epochs);
+}
+
+const LikelihoodTable &
+AsdPrefetcher::lhtCurr(std::uint32_t thread, StreamDir dir) const
+{
+    panicIfNot(thread < threads_.size(),
+               "AsdPrefetcher: thread index out of range");
+    const ThreadState &state = *threads_[thread];
+    return (dir == StreamDir::Positive ? state.positive : state.negative)
+        .curr();
+}
+
+void
+AsdPrefetcher::registerStats(StatRegistry &registry,
+                             const std::string &prefix) const
+{
+    registry.add(prefix + ".suggested", prefetches_suggested_);
+    registry.add(prefix + ".suppressed", decisions_negative_);
+    registry.add(prefix + ".overflow_reads", overflow_reads_);
+    buffer_.registerStats(registry, prefix + ".buffer");
+    sched_.registerStats(registry, prefix + ".sched");
+}
+
+} // namespace asd

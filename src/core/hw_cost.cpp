@@ -1,0 +1,60 @@
+#include "core/hw_cost.hpp"
+
+#include <bit>
+
+namespace asd
+{
+
+namespace
+{
+
+std::uint32_t
+ceilLog2(std::uint64_t v)
+{
+    if (v <= 1)
+        return 1;
+    return static_cast<std::uint32_t>(
+        std::bit_width(v - 1));
+}
+
+} // namespace
+
+HwCost
+computeHwCost(const AsdConfig &config, std::uint32_t phys_addr_bits,
+              std::uint32_t line_bytes, std::uint32_t lpq_entries)
+{
+    HwCost cost;
+    cost.threads = config.threads;
+
+    const std::uint32_t line_addr_bits =
+        phys_addr_bits - ceilLog2(line_bytes);
+
+    // Stream Filter slot: last line address, length (up to Lm with a
+    // saturating top), direction, lifetime down-counter.
+    const std::uint32_t length_bits = ceilLog2(config.lht_entries) + 1;
+    const std::uint32_t lifetime_bits = ceilLog2(
+        config.lifetime_init + config.lifetime_extend);
+    const std::uint64_t slot_bits =
+        line_addr_bits + length_bits + 1 + lifetime_bits;
+    cost.stream_filter_bits = slot_bits * config.filter_slots;
+
+    // LHTs: {curr,next} x {pos,neg} x Lm entries of log2(epoch)-bit
+    // saturating counters (section 3.4).
+    const std::uint32_t counter_bits = ceilLog2(config.epoch_reads);
+    cost.lht_bits = 4ULL * config.lht_entries * counter_bits;
+
+    // One comparator per adjacent LHTcurr pair, per direction.
+    cost.comparator_count = 2ULL * (config.lht_entries - 1);
+
+    // Prefetch Buffer: data + tag + valid per line (shared).
+    const std::uint64_t pb_line_bits =
+        8ULL * line_bytes + line_addr_bits + 1;
+    cost.prefetch_buffer_bits = pb_line_bits * config.buffer_lines;
+
+    // LPQ entries: line address + timestamp.
+    cost.lpq_bits = static_cast<std::uint64_t>(lpq_entries) *
+                    (line_addr_bits + 32);
+    return cost;
+}
+
+} // namespace asd

@@ -1,0 +1,64 @@
+#ifndef ASD_CORE_HW_COST_HPP
+#define ASD_CORE_HW_COST_HPP
+
+/**
+ * @file
+ * Analytic hardware-cost model backing the paper's section 5.1 claims:
+ * ASD needs only small per-thread tables (filter slots + two 16-entry
+ * LHTs per direction) plus a shared 2 KB prefetch buffer, versus the
+ * 64 KB-per-thread spatial-locality tables of competing designs.
+ */
+
+#include <cstdint>
+
+#include "core/asd_config.hpp"
+
+namespace asd
+{
+
+/** Storage bill for one ASD configuration. */
+struct HwCost
+{
+    std::uint64_t stream_filter_bits = 0;  //!< per thread
+    std::uint64_t lht_bits = 0;            //!< per thread, both dirs
+    std::uint64_t comparator_count = 0;    //!< per thread
+    std::uint64_t prefetch_buffer_bits = 0; //!< shared (tags + data)
+    std::uint64_t lpq_bits = 0;            //!< shared
+    std::uint32_t threads = 1;
+
+    /** Total per-thread state in bits. */
+    std::uint64_t
+    perThreadBits() const
+    {
+        return stream_filter_bits + lht_bits;
+    }
+
+    /** Whole-prefetcher storage in bits. */
+    std::uint64_t
+    totalBits() const
+    {
+        return perThreadBits() * threads + prefetch_buffer_bits +
+               lpq_bits;
+    }
+
+    double
+    totalKiB() const
+    {
+        return static_cast<double>(totalBits()) / 8.0 / 1024.0;
+    }
+};
+
+/**
+ * Compute the storage bill of @p config.
+ * @param phys_addr_bits physical address width (Power5+: 48 bits).
+ * @param line_bytes cache line size.
+ * @param lpq_entries LPQ depth (3 in the evaluated design).
+ */
+HwCost computeHwCost(const AsdConfig &config,
+                     std::uint32_t phys_addr_bits = 48,
+                     std::uint32_t line_bytes = 128,
+                     std::uint32_t lpq_entries = 3);
+
+} // namespace asd
+
+#endif // ASD_CORE_HW_COST_HPP

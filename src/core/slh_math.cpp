@@ -1,0 +1,59 @@
+#include "core/slh_math.hpp"
+
+#include "common/log.hpp"
+
+namespace asd
+{
+
+std::uint64_t
+lhtAt(const std::vector<std::uint64_t> &lht, std::size_t i)
+{
+    panicIfNot(i >= 1, "lht() is 1-based");
+    return i <= lht.size() ? lht[i - 1] : 0;
+}
+
+double
+slhProbability(const std::vector<std::uint64_t> &lht, std::size_t i,
+               std::size_t j)
+{
+    panicIfNot(i >= 1 && i <= j, "slhProbability requires 1 <= i <= j");
+    const std::uint64_t base = lhtAt(lht, 1);
+    if (base == 0)
+        return 0.0;
+    const std::uint64_t in_range = lhtAt(lht, i) - lhtAt(lht, j + 1);
+    return static_cast<double>(in_range) / static_cast<double>(base);
+}
+
+bool
+shouldPrefetchNext(const std::vector<std::uint64_t> &lht, std::size_t k)
+{
+    return shouldPrefetchDegree(lht, k, 1);
+}
+
+bool
+shouldPrefetchDegree(const std::vector<std::uint64_t> &lht,
+                     std::size_t k, std::size_t d)
+{
+    panicIfNot(k >= 1 && d >= 1, "prefetch decision needs k,d >= 1");
+    return lhtAt(lht, k) < 2 * lhtAt(lht, k + d);
+}
+
+std::vector<double>
+readWeightedSlh(const std::vector<std::uint64_t> &lht)
+{
+    std::vector<double> bars(lht.size(), 0.0);
+    double total = 0.0;
+    for (std::size_t i = 1; i <= lht.size(); ++i) {
+        const std::uint64_t exact = lhtAt(lht, i) - lhtAt(lht, i + 1);
+        const double reads =
+            static_cast<double>(exact) * static_cast<double>(i);
+        bars[i - 1] = reads;
+        total += reads;
+    }
+    if (total > 0.0)
+        for (auto &bar : bars)
+            bar /= total;
+    return bars;
+}
+
+} // namespace asd

@@ -1,0 +1,64 @@
+#ifndef ASD_CORE_SLH_MATH_HPP
+#define ASD_CORE_SLH_MATH_HPP
+
+/**
+ * @file
+ * The probabilistic machinery of section 3.2 as pure functions over an
+ * lht() vector, where lht[i-1] counts streams of length i or longer
+ * (1-based in the paper, 0-based here). Keeping these free functions
+ * makes the hardware-shaped LikelihoodTable directly checkable against
+ * the paper's inequalities in tests.
+ *
+ * Note on weighting: the paper defines lht() over "Reads that are part
+ * of streams of length >= i" but its hardware section updates each
+ * table entry by one per completed stream, i.e. it counts streams.
+ * Both weightings yield the same decision rule (5); we implement the
+ * hardware (stream-count) form and derive read-weighted SLH bars for
+ * the figures, matching Figs. 2/3/16 which plot per-Read frequencies.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace asd
+{
+
+/** lht(i): count for 1-based index i; 0 beyond the table (eq. text). */
+std::uint64_t lhtAt(const std::vector<std::uint64_t> &lht,
+                    std::size_t i);
+
+/**
+ * P(i, j) of equation (1): probability that a Read is part of a
+ * stream with length in [i, j], given lht. Returns 0 for an empty
+ * table.
+ */
+double slhProbability(const std::vector<std::uint64_t> &lht,
+                      std::size_t i, std::size_t j);
+
+/**
+ * Inequality (5): should the k-th element of a stream trigger a
+ * next-line prefetch? True iff lht(k) < 2 * lht(k+1).
+ */
+bool shouldPrefetchNext(const std::vector<std::uint64_t> &lht,
+                        std::size_t k);
+
+/**
+ * Inequality (6), the multi-line generalization: true iff
+ * lht(k) < 2 * lht(k+d), i.e. prefetching d lines ahead of the k-th
+ * element is more likely useful than not.
+ */
+bool shouldPrefetchDegree(const std::vector<std::uint64_t> &lht,
+                          std::size_t k, std::size_t d);
+
+/**
+ * Read-weighted SLH bars (the paper's figures): bar i is the fraction
+ * of Reads belonging to streams of length exactly i, with the last
+ * bucket read-weighted by its own length. @p lht is the stream-count
+ * form; entry i of the result = i * (lht(i) - lht(i+1)) / total reads.
+ */
+std::vector<double> readWeightedSlh(
+    const std::vector<std::uint64_t> &lht);
+
+} // namespace asd
+
+#endif // ASD_CORE_SLH_MATH_HPP

@@ -1,0 +1,145 @@
+#include "core/stream_filter.hpp"
+
+#include <algorithm>
+
+namespace asd
+{
+
+namespace
+{
+
+/**
+ * Extend a slot's lifetime: the hardware lifetime counter is
+ * incremented by the extension value but saturates at its width
+ * (init + extend), so a long stream cannot bank unbounded lifetime
+ * and zombify its slot after the stream really ends.
+ */
+Cycle
+extendLifetime(Cycle expires_at, Cycle now, Cycles init, Cycles extend)
+{
+    return std::min(expires_at + extend, now + init + extend);
+}
+
+} // namespace
+
+StreamFilter::StreamFilter(std::uint32_t slots, Cycles lifetime_init,
+                           Cycles lifetime_extend)
+    : slots_(slots),
+      lifetime_init_(lifetime_init),
+      lifetime_extend_(lifetime_extend)
+{
+    if (slots_ > 0)
+        table_.resize(slots_);
+}
+
+StreamObservation
+StreamFilter::observe(LineAddr line, Cycle now)
+{
+    StreamObservation result;
+
+    // Pass 1: extension or repeat of an existing stream.
+    for (auto &slot : table_) {
+        if (!slot.valid)
+            continue;
+        const auto next = static_cast<LineAddr>(
+            static_cast<std::int64_t>(slot.last) + dirStep(slot.dir));
+        if (line == next) {
+            slot.last = line;
+            ++slot.length;
+            slot.expires_at = extendLifetime(
+                slot.expires_at, now, lifetime_init_, lifetime_extend_);
+            result.kind = StreamObservation::Kind::Extended;
+            result.length = slot.length;
+            result.dir = slot.dir;
+            return result;
+        }
+        // A length-1 stream has no committed direction yet; a read one
+        // line below flips it negative (paper section 3.3).
+        if (slot.length == 1 && slot.last > 0 && line == slot.last - 1) {
+            slot.dir = StreamDir::Negative;
+            slot.last = line;
+            slot.length = 2;
+            slot.expires_at = extendLifetime(
+                slot.expires_at, now, lifetime_init_, lifetime_extend_);
+            result.kind = StreamObservation::Kind::Extended;
+            result.length = slot.length;
+            result.dir = slot.dir;
+            return result;
+        }
+        if (line == slot.last) {
+            slot.expires_at = now + lifetime_init_;
+            result.kind = StreamObservation::Kind::SameLine;
+            result.length = slot.length;
+            result.dir = slot.dir;
+            return result;
+        }
+    }
+
+    // Pass 2: allocate a vacant slot.
+    for (auto &slot : table_) {
+        if (slot.valid)
+            continue;
+        slot.valid = true;
+        slot.last = line;
+        slot.length = 1;
+        slot.dir = StreamDir::Positive;
+        slot.expires_at = now + lifetime_init_;
+        result.kind = StreamObservation::Kind::Allocated;
+        return result;
+    }
+
+    if (slots_ == 0) {
+        // Unbounded oracle mode: grow.
+        Slot slot;
+        slot.valid = true;
+        slot.last = line;
+        slot.length = 1;
+        slot.expires_at = now + lifetime_init_;
+        table_.push_back(slot);
+        result.kind = StreamObservation::Kind::Allocated;
+        return result;
+    }
+
+    result.kind = StreamObservation::Kind::Overflow;
+    return result;
+}
+
+std::vector<DeadStream>
+StreamFilter::expireLifetimes(Cycle now)
+{
+    std::vector<DeadStream> dead;
+    for (auto &slot : table_) {
+        if (slot.valid && slot.expires_at <= now) {
+            dead.push_back({slot.length, slot.dir});
+            slot.valid = false;
+        }
+    }
+    return dead;
+}
+
+std::vector<DeadStream>
+StreamFilter::flushAll()
+{
+    std::vector<DeadStream> dead;
+    for (auto &slot : table_) {
+        if (slot.valid) {
+            dead.push_back({slot.length, slot.dir});
+            slot.valid = false;
+        }
+    }
+    if (slots_ == 0)
+        table_.clear();
+    return dead;
+}
+
+std::size_t
+StreamFilter::liveStreams() const
+{
+    std::size_t count = 0;
+    for (const auto &slot : table_)
+        if (slot.valid)
+            ++count;
+    return count;
+}
+
+} // namespace asd

@@ -1,0 +1,102 @@
+#ifndef ASD_CORE_STREAM_FILTER_HPP
+#define ASD_CORE_STREAM_FILTER_HPP
+
+/**
+ * @file
+ * The Stream Filter of section 3.3: a small table of in-flight read
+ * streams. Each slot holds the last line accessed, the length so far,
+ * the direction, and a lifetime; expired or epoch-flushed slots report
+ * their lengths so the Likelihood Tables can be updated.
+ *
+ * A slot count of zero selects an unbounded "oracle" filter with no
+ * capacity misses, used to measure SLH approximation accuracy
+ * (Fig. 16).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace asd
+{
+
+/** What happened when the filter observed one read. */
+struct StreamObservation
+{
+    enum class Kind : std::uint8_t
+    {
+        Allocated, //!< new stream in a vacant slot (length 1)
+        Extended,  //!< read continued an existing stream
+        Overflow,  //!< no vacant slot; treat as a length-1 stream
+        SameLine,  //!< repeat of a stream's last line (refresh only)
+    };
+
+    Kind kind = Kind::Allocated;
+
+    /** Stream length after this read (1 for Allocated/Overflow). */
+    std::uint64_t length = 1;
+
+    /** Direction of the matched/allocated stream. */
+    StreamDir dir = StreamDir::Positive;
+};
+
+/** A stream evicted from the filter (lifetime expiry or flush). */
+struct DeadStream
+{
+    std::uint64_t length = 1;
+    StreamDir dir = StreamDir::Positive;
+};
+
+/** The Stream Filter. */
+class StreamFilter
+{
+  public:
+    /**
+     * @param slots capacity; 0 = unbounded oracle mode.
+     * @param lifetime_init initial lifetime in cycles.
+     * @param lifetime_extend lifetime added per extension.
+     */
+    StreamFilter(std::uint32_t slots, Cycles lifetime_init,
+                 Cycles lifetime_extend);
+
+    /**
+     * Track one read. Matching rules (paper section 3.3):
+     *  - a read equal to a stream's last line + step extends it;
+     *  - a read equal to last - 1 of a length-1 stream flips that
+     *    stream negative and extends it;
+     *  - a repeat of a stream's last line refreshes its lifetime;
+     *  - otherwise a vacant slot is allocated, or Overflow reported.
+     */
+    StreamObservation observe(LineAddr line, Cycle now);
+
+    /** Evict every stream whose lifetime expired by @p now. */
+    std::vector<DeadStream> expireLifetimes(Cycle now);
+
+    /** Evict all streams (end of epoch). */
+    std::vector<DeadStream> flushAll();
+
+    /** Valid slots right now. */
+    std::size_t liveStreams() const;
+
+    std::uint32_t slots() const { return slots_; }
+
+  private:
+    struct Slot
+    {
+        LineAddr last = 0;
+        std::uint64_t length = 0;
+        Cycle expires_at = 0;
+        StreamDir dir = StreamDir::Positive;
+        bool valid = false;
+    };
+
+    std::uint32_t slots_; //!< 0 = unbounded
+    Cycles lifetime_init_;
+    Cycles lifetime_extend_;
+    std::vector<Slot> table_;
+};
+
+} // namespace asd
+
+#endif // ASD_CORE_STREAM_FILTER_HPP

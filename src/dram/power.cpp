@@ -1,0 +1,22 @@
+#include "dram/power.hpp"
+
+namespace asd
+{
+
+PowerReport
+PowerModel::report(const Dram &dram, Cycle elapsed_cycles) const
+{
+    PowerReport out;
+    out.background_pj = config_.p_background_pj_per_cpu_cycle *
+                        static_cast<double>(elapsed_cycles);
+    out.activate_pj =
+        config_.e_activate_pj * static_cast<double>(dram.activates());
+    out.read_pj = config_.e_read_pj * static_cast<double>(dram.reads());
+    out.write_pj =
+        config_.e_write_pj * static_cast<double>(dram.writes());
+    out.refresh_pj =
+        config_.e_refresh_pj * static_cast<double>(dram.refreshes());
+    return out;
+}
+
+} // namespace asd

@@ -1,0 +1,65 @@
+#ifndef ASD_DRAM_POWER_HPP
+#define ASD_DRAM_POWER_HPP
+
+/**
+ * @file
+ * Micron-style DRAM power/energy accounting (the Memsim stand-in for
+ * the paper's Figs. 8-10). Energy = background power x wall time +
+ * per-event energies taken from the Dram command counters.
+ */
+
+#include "common/types.hpp"
+#include "dram/dram.hpp"
+
+namespace asd
+{
+
+/** Energy/power breakdown for one simulation. */
+struct PowerReport
+{
+    PicoJoule background_pj = 0.0;
+    PicoJoule activate_pj = 0.0;
+    PicoJoule read_pj = 0.0;
+    PicoJoule write_pj = 0.0;
+    PicoJoule refresh_pj = 0.0;
+
+    /** Total energy in picojoules. */
+    PicoJoule
+    totalPj() const
+    {
+        return background_pj + activate_pj + read_pj + write_pj +
+               refresh_pj;
+    }
+
+    /** Average power in watts given the CPU frequency. */
+    double
+    averageWatts(Cycle elapsed_cycles, double cpu_hz) const
+    {
+        if (elapsed_cycles == 0)
+            return 0.0;
+        const double seconds =
+            static_cast<double>(elapsed_cycles) / cpu_hz;
+        return totalPj() * 1e-12 / seconds;
+    }
+};
+
+/** Computes a PowerReport from the DRAM's event counters. */
+class PowerModel
+{
+  public:
+    explicit PowerModel(const DramConfig &config) : config_(config) {}
+
+    /**
+     * Account a finished run.
+     * @param dram the channel whose counters to read.
+     * @param elapsed_cycles simulated CPU cycles.
+     */
+    PowerReport report(const Dram &dram, Cycle elapsed_cycles) const;
+
+  private:
+    DramConfig config_;
+};
+
+} // namespace asd
+
+#endif // ASD_DRAM_POWER_HPP

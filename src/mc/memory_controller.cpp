@@ -1,0 +1,370 @@
+#include "mc/memory_controller.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace asd
+{
+
+MemoryController::MemoryController(const McConfig &config, Dram &dram,
+                                   ReadCallback on_read_done)
+    : config_(config),
+      dram_(dram),
+      on_read_done_(std::move(on_read_done)),
+      scheduler_(makeScheduler(config.scheduler))
+{
+    panicIfNot(config_.caq > 0, "MemoryController: CAQ must be nonempty");
+    panicIfNot(static_cast<bool>(on_read_done_),
+               "MemoryController: read callback required");
+}
+
+void
+MemoryController::attachPrefetcher(MemSidePrefetcher *prefetcher)
+{
+    prefetcher_ = prefetcher;
+}
+
+bool
+MemoryController::canAcceptRead() const
+{
+    return read_q_.size() < config_.read_queue;
+}
+
+bool
+MemoryController::canAcceptWrite() const
+{
+    return write_q_.size() < config_.write_queue;
+}
+
+bool
+MemoryController::prefetchInFlight(LineAddr line) const
+{
+    for (const auto &flight : in_flight_)
+        if (flight.cmd.is_prefetch && flight.cmd.line == line)
+            return true;
+    return false;
+}
+
+bool
+MemoryController::inLpq(LineAddr line) const
+{
+    for (const auto &cmd : lpq_)
+        if (cmd.line == line)
+            return true;
+    return false;
+}
+
+void
+MemoryController::cancelLpqEntry(LineAddr line)
+{
+    for (auto it = lpq_.begin(); it != lpq_.end(); ++it) {
+        if (it->line == line) {
+            lpq_.erase(it);
+            lpq_promoted_.inc();
+            return;
+        }
+    }
+}
+
+bool
+MemoryController::mergeWithPrefetch(const McCommand &cmd)
+{
+    for (auto &flight : in_flight_) {
+        if (flight.cmd.is_prefetch && flight.cmd.line == cmd.line) {
+            flight.waiters.push_back(cmd);
+            merged_with_prefetch_.inc();
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+MemoryController::pushPrefetches(const std::vector<LineAddr> &lines,
+                                 Cycle now)
+{
+    for (const LineAddr line : lines) {
+        if (lpq_.size() >= config_.lpq) {
+            lpq_dropped_.inc();
+            continue;
+        }
+        // Skip prefetches whose data is already buffered or being
+        // fetched; they would only waste DRAM bandwidth.
+        if (inLpq(line) || prefetchInFlight(line) ||
+            (prefetcher_ && prefetcher_->bufferContains(line))) {
+            continue;
+        }
+        McCommand cmd;
+        cmd.line = line;
+        cmd.id = next_prefetch_id_++;
+        cmd.enqueued_at = now;
+        cmd.is_prefetch = true;
+        lpq_.push_back(cmd);
+    }
+}
+
+bool
+MemoryController::enqueueRead(LineAddr line, std::uint64_t id,
+                              std::uint32_t thread, Cycle now)
+{
+    // Probe the Prefetch Buffer before anything else: a hit squashes
+    // the DRAM access and needs no queue slot. The probe consumes the
+    // entry only on a hit, so a rejected (queue-full) read has no
+    // side effects and can be retried.
+    const bool buffer_hit =
+        prefetcher_ && prefetcher_->lookupBuffer(line);
+
+    // A demand read matching an in-flight prefetch rides that
+    // prefetch's completion instead of re-fetching the line (MSHR-
+    // style merge); it needs no reorder-queue slot either.
+    McCommand merged_cmd;
+    merged_cmd.line = line;
+    merged_cmd.id = id;
+    merged_cmd.thread = thread;
+    merged_cmd.enqueued_at = now;
+    const bool merged = !buffer_hit && prefetcher_ &&
+                        config_.merge_inflight_prefetch &&
+                        mergeWithPrefetch(merged_cmd);
+
+    if (!buffer_hit && !merged && !canAcceptRead())
+        return false;
+
+    // The Stream Filter observes every read accepted into the
+    // controller, whether or not the Prefetch Buffer satisfied it
+    // (Fig. 4: reads fan out to both paths).
+    reads_observed_.inc();
+    std::vector<LineAddr> candidates;
+    if (prefetcher_)
+        candidates = prefetcher_->observeRead(line, thread, now);
+
+    if (buffer_hit) {
+        buffer_hits_entry_.inc();
+        InFlight flight;
+        flight.done = now + config_.buffer_hit_latency;
+        flight.cmd = merged_cmd;
+        flight.touches_dram = false;
+        in_flight_.push_back(flight);
+        pushPrefetches(candidates, now);
+        return true;
+    }
+    if (merged) {
+        pushPrefetches(candidates, now);
+        return true;
+    }
+
+    // A prefetch still waiting in the LPQ is superseded by the read
+    // itself (demand or processor-side prefetch).
+    if (prefetcher_ && config_.cancel_lpq_on_demand)
+        cancelLpqEntry(line);
+
+    McCommand cmd;
+    cmd.line = line;
+    cmd.id = id;
+    cmd.thread = thread;
+    cmd.enqueued_at = now;
+    read_q_.push_back(cmd);
+    pushPrefetches(candidates, now);
+    return true;
+}
+
+bool
+MemoryController::enqueueWrite(LineAddr line, Cycle now)
+{
+    if (!canAcceptWrite())
+        return false;
+    writes_observed_.inc();
+    if (prefetcher_)
+        prefetcher_->observeWrite(line, now);
+    McCommand cmd;
+    cmd.line = line;
+    cmd.is_write = true;
+    cmd.enqueued_at = now;
+    write_q_.push_back(cmd);
+    return true;
+}
+
+bool
+MemoryController::policyAllowsLpq(int policy, Cycle now) const
+{
+    if (lpq_.empty())
+        return false;
+    switch (policy) {
+      case 1:
+        return caq_.empty() && read_q_.empty() && write_q_.empty();
+      case 2: {
+        if (!caq_.empty())
+            return false;
+        for (const auto &cmd : read_q_)
+            if (dram_.canIssue(cmd.line, now))
+                return false;
+        for (const auto &cmd : write_q_)
+            if (dram_.canIssue(cmd.line, now))
+                return false;
+        return true;
+      }
+      case 3:
+        return caq_.empty();
+      case 4:
+        return caq_.size() <= 1 && lpq_.size() >= config_.lpq;
+      case 5:
+        return caq_.empty() ||
+               lpq_.front().enqueued_at < caq_.front().enqueued_at;
+      default:
+        return false;
+    }
+}
+
+void
+MemoryController::moveToCaq(Cycle now)
+{
+    if (caq_.size() >= config_.caq)
+        return;
+    // Write-drain hysteresis.
+    if (write_q_.size() >= config_.write_drain_high)
+        draining_writes_ = true;
+    else if (write_q_.size() <= config_.write_drain_low)
+        draining_writes_ = false;
+    const auto pick = scheduler_->pick(read_q_, write_q_, dram_, now,
+                                       draining_writes_);
+    if (!pick)
+        return;
+    auto &queue = pick->from_write_queue ? write_q_ : read_q_;
+    panicIfNot(pick->index < queue.size(),
+               "scheduler picked an out-of-range command");
+    caq_.push_back(queue[pick->index]);
+    queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(pick->index));
+}
+
+void
+MemoryController::issueToDram(Cycle now)
+{
+    const int policy = prefetcher_ ? prefetcher_->schedulingPolicy() : 0;
+    if (prefetcher_ && policyAllowsLpq(policy, now) &&
+        dram_.canIssue(lpq_.front().line, now)) {
+        McCommand cmd = lpq_.front();
+        lpq_.pop_front();
+        const Cycle done = dram_.issue(
+            cmd.line, false, true, now + config_.command_overhead);
+        prefetches_issued_.inc();
+        InFlight flight;
+        flight.done = done;
+        flight.cmd = cmd;
+        in_flight_.push_back(flight);
+        return;
+    }
+
+    if (caq_.empty())
+        return;
+    McCommand &head = caq_.front();
+
+    // Second Prefetch Buffer check: the data may have arrived while
+    // the read sat in the CAQ.
+    if (!head.is_write && prefetcher_ &&
+        prefetcher_->lookupBuffer(head.line)) {
+        buffer_hits_caq_.inc();
+        InFlight flight;
+        flight.done = now + config_.return_overhead;
+        flight.cmd = head;
+        flight.touches_dram = false;
+        in_flight_.push_back(flight);
+        caq_.pop_front();
+        return;
+    }
+
+    if (!dram_.canIssue(head.line, now)) {
+        // Adaptive Scheduling feedback: regular command blocked by a
+        // bank still busy with a previously issued prefetch.
+        if (dram_.occupant(head.line, now) == BankOccupant::Prefetch) {
+            prefetch_conflict_events_.inc();
+            if (!head.delayed_by_prefetch) {
+                head.delayed_by_prefetch = true;
+                regulars_delayed_.inc();
+                if (prefetcher_)
+                    prefetcher_->notifyPrefetchConflict(now);
+            }
+        }
+        return;
+    }
+
+    McCommand cmd = head;
+    caq_.pop_front();
+    const Cycle done = dram_.issue(cmd.line, cmd.is_write, false,
+                                   now + config_.command_overhead);
+    scheduler_->notifyIssued(cmd, dram_);
+    if (!cmd.is_write) {
+        InFlight flight;
+        flight.done = done + config_.return_overhead;
+        flight.cmd = cmd;
+        in_flight_.push_back(flight);
+    }
+}
+
+void
+MemoryController::completeFinished(Cycle now)
+{
+    for (std::size_t i = 0; i < in_flight_.size();) {
+        if (in_flight_[i].done > now) {
+            ++i;
+            continue;
+        }
+        const InFlight flight = in_flight_[i];
+        in_flight_.erase(in_flight_.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+        if (flight.cmd.is_prefetch) {
+            if (flight.waiters.empty()) {
+                if (prefetcher_)
+                    prefetcher_->fillBuffer(flight.cmd.line, now);
+            } else {
+                // Data forwarded straight to the merged demand
+                // read(s); it moves into L1/L2 so the buffer copy
+                // would be dead weight (same rule as a buffer hit).
+                prefetches_merged_useful_.inc();
+                for (const McCommand &waiter : flight.waiters) {
+                    on_read_done_(waiter.id,
+                                  flight.done +
+                                      config_.return_overhead);
+                }
+            }
+        } else {
+            on_read_done_(flight.cmd.id, flight.done);
+        }
+    }
+}
+
+void
+MemoryController::tick(Cycle now)
+{
+    if (prefetcher_)
+        prefetcher_->tick(now);
+    completeFinished(now);
+    moveToCaq(now);
+    issueToDram(now);
+}
+
+bool
+MemoryController::idle() const
+{
+    return read_q_.empty() && write_q_.empty() && caq_.empty() &&
+           in_flight_.empty();
+}
+
+void
+MemoryController::registerStats(StatRegistry &registry,
+                                const std::string &prefix) const
+{
+    registry.add(prefix + ".reads", reads_observed_);
+    registry.add(prefix + ".writes", writes_observed_);
+    registry.add(prefix + ".buffer_hits_entry", buffer_hits_entry_);
+    registry.add(prefix + ".buffer_hits_caq", buffer_hits_caq_);
+    registry.add(prefix + ".prefetches_issued", prefetches_issued_);
+    registry.add(prefix + ".lpq_dropped", lpq_dropped_);
+    registry.add(prefix + ".regulars_delayed", regulars_delayed_);
+    registry.add(prefix + ".prefetch_conflict_events",
+                 prefetch_conflict_events_);
+    registry.add(prefix + ".merged_with_prefetch",
+                 merged_with_prefetch_);
+    registry.add(prefix + ".lpq_promoted", lpq_promoted_);
+}
+
+} // namespace asd

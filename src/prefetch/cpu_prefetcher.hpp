@@ -1,0 +1,51 @@
+#ifndef ASD_PREFETCH_CPU_PREFETCHER_HPP
+#define ASD_PREFETCH_CPU_PREFETCHER_HPP
+
+/**
+ * @file
+ * Interface for processor-side prefetchers: components that watch the
+ * L1 demand-access stream of one core and request lines be brought
+ * into L1/L2. Implemented by the Power5-style sequential prefetcher
+ * (paper section 4.2) and by the Adaptive-Stream-Detection variant
+ * the paper proposes as future work (section 6).
+ */
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace asd
+{
+
+/** One prefetch a processor-side unit wants performed. */
+struct PsPrefetchReq
+{
+    LineAddr line = 0;
+    bool to_l1 = false; //!< otherwise the line targets L2
+};
+
+/** Processor-side prefetcher interface. */
+class CpuPrefetcher
+{
+  public:
+    virtual ~CpuPrefetcher() = default;
+
+    /**
+     * Observe one L1 demand data access.
+     * @param line the accessed cache line.
+     * @param was_l1_miss whether the access missed L1.
+     * @return prefetch requests, deduplicated per stream.
+     */
+    virtual std::vector<PsPrefetchReq> observe(LineAddr line,
+                                               bool was_l1_miss) = 0;
+
+    /** Register counters under @p prefix. */
+    virtual void registerStats(StatRegistry &registry,
+                               const std::string &prefix) const = 0;
+};
+
+} // namespace asd
+
+#endif // ASD_PREFETCH_CPU_PREFETCHER_HPP

@@ -1,0 +1,87 @@
+#include "prefetch/ghb_prefetcher.hpp"
+
+#include "common/log.hpp"
+
+namespace asd
+{
+
+GhbMcPrefetcher::GhbMcPrefetcher(const AsdConfig &shared,
+                                 const GhbConfig &config)
+    : BufferedMcPrefetcher(shared),
+      config_(config),
+      ghb_(config.ghb_entries),
+      index_(config.index_entries, kNoLink),
+      index_tag_(config.index_entries, 0)
+{
+    if (config_.ghb_entries == 0 || config_.index_entries == 0)
+        fatal("GhbMcPrefetcher: tables must be nonempty");
+    if (config_.degree == 0)
+        fatal("GhbMcPrefetcher: degree must be >= 1");
+}
+
+std::size_t
+GhbMcPrefetcher::indexOf(LineAddr line) const
+{
+    // Cheap mix before the modulo so strided lines spread.
+    const std::uint64_t hash =
+        (line ^ (line >> 13)) * 0x9e3779b97f4a7c15ULL;
+    return static_cast<std::size_t>(hash % index_.size());
+}
+
+bool
+GhbMcPrefetcher::inWindow(std::uint64_t seq) const
+{
+    return seq != kNoLink && seq < next_seq_ &&
+           next_seq_ - seq <= ghb_.size();
+}
+
+std::size_t
+GhbMcPrefetcher::historySize() const
+{
+    std::size_t count = 0;
+    for (const auto &entry : ghb_)
+        count += entry.valid;
+    return count;
+}
+
+std::vector<LineAddr>
+GhbMcPrefetcher::observeRead(LineAddr line, std::uint32_t thread,
+                             Cycle now)
+{
+    (void)thread;
+    (void)now;
+    countReadForEpoch();
+
+    std::vector<LineAddr> out;
+    const std::size_t idx = indexOf(line);
+    const std::uint64_t prev_seq =
+        index_tag_[idx] == line ? index_[idx] : kNoLink;
+
+    // The lines that followed the previous occurrence are the
+    // prediction for what follows this one.
+    if (inWindow(prev_seq)) {
+        for (std::uint32_t d = 1; d <= config_.degree; ++d) {
+            const std::uint64_t follow = prev_seq + d;
+            if (!inWindow(follow) && follow != next_seq_)
+                break;
+            if (follow >= next_seq_)
+                break;
+            const GhbEntry &entry = ghb_[follow % ghb_.size()];
+            if (!entry.valid || entry.line == line)
+                break;
+            out.push_back(entry.line);
+        }
+    }
+
+    // Append this occurrence and point the index at it.
+    GhbEntry &slot = ghb_[next_seq_ % ghb_.size()];
+    slot.line = line;
+    slot.prev = prev_seq;
+    slot.valid = true;
+    index_[idx] = next_seq_;
+    index_tag_[idx] = line;
+    ++next_seq_;
+    return out;
+}
+
+} // namespace asd

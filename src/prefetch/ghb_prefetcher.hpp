@@ -1,0 +1,67 @@
+#ifndef ASD_PREFETCH_GHB_PREFETCHER_HPP
+#define ASD_PREFETCH_GHB_PREFETCHER_HPP
+
+/**
+ * @file
+ * A Global History Buffer prefetcher (Nesbit & Smith, HPCA 2004 — the
+ * paper's reference [18]) in its address-correlating (G/AC) form,
+ * transplanted into the memory controller as another point of
+ * comparison against Adaptive Stream Detection: a FIFO of recent miss
+ * addresses plus an index table linking each address to its previous
+ * occurrence; on a repeat, the lines that followed last time are
+ * prefetched. Unlike ASD it can follow arbitrary (non-sequential)
+ * correlation at the cost of much larger tables.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "prefetch/mc_baselines.hpp"
+
+namespace asd
+{
+
+/** GHB geometry. */
+struct GhbConfig
+{
+    std::uint32_t ghb_entries = 256;  //!< history FIFO depth
+    std::uint32_t index_entries = 256; //!< index table (hashed)
+    std::uint32_t degree = 2;          //!< lines prefetched per hit
+};
+
+/** The G/AC Global History Buffer prefetcher. */
+class GhbMcPrefetcher : public BufferedMcPrefetcher
+{
+  public:
+    GhbMcPrefetcher(const AsdConfig &shared, const GhbConfig &config);
+
+    std::vector<LineAddr> observeRead(LineAddr line,
+                                      std::uint32_t thread,
+                                      Cycle now) override;
+
+    /** Entries currently valid in the history buffer (tests). */
+    std::size_t historySize() const;
+
+  private:
+    struct GhbEntry
+    {
+        LineAddr line = 0;
+        std::uint64_t prev = kNoLink; //!< older occurrence, absolute seq
+        bool valid = false;
+    };
+
+    static constexpr std::uint64_t kNoLink = ~std::uint64_t{0};
+
+    std::size_t indexOf(LineAddr line) const;
+    bool inWindow(std::uint64_t seq) const;
+
+    GhbConfig config_;
+    std::vector<GhbEntry> ghb_;      //!< circular, indexed by seq
+    std::vector<std::uint64_t> index_; //!< line hash -> newest seq
+    std::vector<LineAddr> index_tag_;
+    std::uint64_t next_seq_ = 0;
+};
+
+} // namespace asd
+
+#endif // ASD_PREFETCH_GHB_PREFETCHER_HPP

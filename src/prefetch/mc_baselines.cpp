@@ -1,0 +1,117 @@
+#include "prefetch/mc_baselines.hpp"
+
+#include "common/log.hpp"
+
+namespace asd
+{
+
+BufferedMcPrefetcher::BufferedMcPrefetcher(const AsdConfig &config)
+    : config_(config),
+      buffer_(config.buffer_lines, config.buffer_ways),
+      sched_(config.sched)
+{
+}
+
+void
+BufferedMcPrefetcher::observeWrite(LineAddr line, Cycle now)
+{
+    (void)now;
+    buffer_.invalidateOnWrite(line);
+}
+
+bool
+BufferedMcPrefetcher::lookupBuffer(LineAddr line)
+{
+    return buffer_.consume(line);
+}
+
+bool
+BufferedMcPrefetcher::bufferContains(LineAddr line) const
+{
+    return buffer_.contains(line);
+}
+
+void
+BufferedMcPrefetcher::fillBuffer(LineAddr line, Cycle now)
+{
+    (void)now;
+    buffer_.insert(line);
+}
+
+int
+BufferedMcPrefetcher::schedulingPolicy() const
+{
+    return sched_.policy();
+}
+
+void
+BufferedMcPrefetcher::notifyPrefetchConflict(Cycle now)
+{
+    (void)now;
+    sched_.notifyConflict();
+}
+
+void
+BufferedMcPrefetcher::tick(Cycle now)
+{
+    (void)now; // the shared plumbing has no per-cycle state
+}
+
+void
+BufferedMcPrefetcher::countReadForEpoch()
+{
+    if (++epoch_reads_seen_ >= config_.epoch_reads) {
+        epoch_reads_seen_ = 0;
+        sched_.epochEnd();
+    }
+}
+
+std::vector<LineAddr>
+NextLineMcPrefetcher::observeRead(LineAddr line, std::uint32_t thread,
+                                  Cycle now)
+{
+    (void)thread;
+    (void)now;
+    countReadForEpoch();
+    return {line + 1};
+}
+
+P5StyleMcPrefetcher::P5StyleMcPrefetcher(const AsdConfig &config)
+    : BufferedMcPrefetcher(config)
+{
+    filters_.reserve(config_.threads);
+    for (std::uint32_t t = 0; t < config_.threads; ++t)
+        filters_.emplace_back(config_.filter_slots,
+                              config_.lifetime_init,
+                              config_.lifetime_extend);
+}
+
+std::vector<LineAddr>
+P5StyleMcPrefetcher::observeRead(LineAddr line, std::uint32_t thread,
+                                 Cycle now)
+{
+    panicIfNot(thread < filters_.size(),
+               "P5StyleMcPrefetcher: bad thread index");
+    std::vector<LineAddr> out;
+    const StreamObservation obs = filters_[thread].observe(line, now);
+    // Fixed policy: once a stream is confirmed (two sequential reads)
+    // always fetch the next line; no histogram consultation.
+    if (obs.kind == StreamObservation::Kind::Extended &&
+        obs.length >= 2) {
+        const std::int64_t target =
+            static_cast<std::int64_t>(line) + dirStep(obs.dir);
+        if (target >= 0)
+            out.push_back(static_cast<LineAddr>(target));
+    }
+    countReadForEpoch();
+    return out;
+}
+
+void
+P5StyleMcPrefetcher::tick(Cycle now)
+{
+    for (auto &filter : filters_)
+        filter.expireLifetimes(now);
+}
+
+} // namespace asd

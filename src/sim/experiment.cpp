@@ -1,0 +1,89 @@
+#include "sim/experiment.hpp"
+
+#include <cstdlib>
+
+#include "common/log.hpp"
+#include "sim/system.hpp"
+#include "trace/synthetic.hpp"
+
+namespace asd
+{
+
+double
+benchScale()
+{
+    static const double scale = [] {
+        const char *env = std::getenv("ASD_BENCH_SCALE");
+        if (!env)
+            return 1.0;
+        const double v = std::atof(env);
+        if (v <= 0.0) {
+            warn("ignoring non-positive ASD_BENCH_SCALE");
+            return 1.0;
+        }
+        return v;
+    }();
+    return scale;
+}
+
+std::uint64_t
+scaledAccesses(const Benchmark &bench, const RunOptions &options)
+{
+    const std::uint64_t base =
+        options.accesses.value_or(bench.trace.total_accesses);
+    const auto scaled =
+        static_cast<std::uint64_t>(static_cast<double>(base) *
+                                   benchScale());
+    return scaled < 1000 ? 1000 : scaled;
+}
+
+SystemConfig
+makeSystemConfig(const RunOptions &options)
+{
+    SystemConfig config;
+    config.mode = options.mode;
+    config.mc_prefetcher = options.mc_prefetcher;
+    config.ps_kind = options.ps_kind;
+    config.ps_oracle = options.ps_oracle;
+    config.mc.scheduler = options.scheduler;
+    config.asd.buffer_lines = options.buffer_lines;
+    config.asd.filter_slots = options.filter_slots;
+    config.asd.max_degree = options.max_degree;
+    config.asd.saturate_long_streams = options.saturate_long_streams;
+    if (options.fixed_policy) {
+        config.asd.sched.adaptive = false;
+        config.asd.sched.fixed_policy = *options.fixed_policy;
+    }
+    return config;
+}
+
+RunMetrics
+runBenchmark(const Benchmark &bench, const RunOptions &options)
+{
+    SyntheticConfig trace_config = bench.trace;
+    trace_config.total_accesses = scaledAccesses(bench, options);
+    SyntheticTraceGenerator trace(trace_config);
+
+    System system(makeSystemConfig(options), {&trace});
+    return system.run();
+}
+
+RunMetrics
+runSmtPair(const Benchmark &a, const Benchmark &b,
+           const RunOptions &options)
+{
+    SyntheticConfig config_a = a.trace;
+    SyntheticConfig config_b = b.trace;
+    config_a.total_accesses = scaledAccesses(a, options);
+    config_b.total_accesses = scaledAccesses(b, options);
+    // Distinct seeds so co-running identical benchmarks do not share
+    // address streams.
+    config_b.seed = config_b.seed * 7919 + 17;
+    SyntheticTraceGenerator trace_a(config_a);
+    SyntheticTraceGenerator trace_b(config_b);
+
+    System system(makeSystemConfig(options), {&trace_a, &trace_b});
+    return system.run();
+}
+
+} // namespace asd

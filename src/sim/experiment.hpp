@@ -1,0 +1,70 @@
+#ifndef ASD_SIM_EXPERIMENT_HPP
+#define ASD_SIM_EXPERIMENT_HPP
+
+/**
+ * @file
+ * Convenience layer used by the bench binaries and examples: build a
+ * System for a named benchmark in a given configuration, run it, and
+ * return metrics. Centralizes the paper's defaults so every figure
+ * runs the same machine.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "sim/metrics.hpp"
+#include "sim/system_config.hpp"
+#include "workloads/profiles.hpp"
+
+namespace asd
+{
+
+/** Per-run knobs the experiments vary. */
+struct RunOptions
+{
+    PrefetchMode mode = PrefetchMode::PMS;
+    McPrefetcherKind mc_prefetcher = McPrefetcherKind::Asd;
+    PsKind ps_kind = PsKind::Power5;
+    SchedulerKind scheduler = SchedulerKind::Ahb;
+
+    /** Pin the LPQ policy (disables Adaptive Scheduling). */
+    std::optional<int> fixed_policy;
+
+    /** ASD structure sizes (paper defaults). */
+    std::uint32_t buffer_lines = 16;
+    std::uint32_t filter_slots = 8;
+    std::uint32_t max_degree = 1;
+    bool saturate_long_streams = false;
+
+    /** Idealized (instant, free) processor-side prefetch fills. */
+    bool ps_oracle = false;
+
+    /** Override the benchmark's trace length. */
+    std::optional<std::uint64_t> accesses;
+};
+
+/** The paper's default machine for @p options. */
+SystemConfig makeSystemConfig(const RunOptions &options);
+
+/** Run one benchmark single-threaded. */
+RunMetrics runBenchmark(const Benchmark &bench,
+                        const RunOptions &options);
+
+/** Run two benchmark threads on one core (SMT experiments). */
+RunMetrics runSmtPair(const Benchmark &a, const Benchmark &b,
+                      const RunOptions &options);
+
+/**
+ * Global trace-length multiplier from the ASD_BENCH_SCALE environment
+ * variable (default 1.0); lets CI shrink the figure runs.
+ */
+double benchScale();
+
+/** Apply benchScale() and any explicit override to a trace length. */
+std::uint64_t scaledAccesses(const Benchmark &bench,
+                             const RunOptions &options);
+
+} // namespace asd
+
+#endif // ASD_SIM_EXPERIMENT_HPP

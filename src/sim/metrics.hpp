@@ -1,0 +1,72 @@
+#ifndef ASD_SIM_METRICS_HPP
+#define ASD_SIM_METRICS_HPP
+
+/**
+ * @file
+ * Results of one simulation: execution time, DRAM power/energy, and
+ * the prefetch-efficiency measures of Fig. 13.
+ */
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "dram/power.hpp"
+
+namespace asd
+{
+
+/** Everything the benches and examples report about one run. */
+struct RunMetrics
+{
+    /** Simulated cycles until the trace drained. */
+    Cycle cycles = 0;
+
+    /** Trace accesses retired (all threads). */
+    std::uint64_t accesses = 0;
+
+    /** DRAM energy breakdown. */
+    PowerReport power;
+
+    /** Average DRAM power in watts. */
+    double dram_watts = 0.0;
+
+    /** Total DRAM energy in millijoules. */
+    double dram_energy_mj = 0.0;
+
+    // --- memory-side prefetch efficiency (Fig. 13) ---
+
+    /** Consumed / completed memory-side prefetches, percent. */
+    double useful_prefetch_pct = 0.0;
+
+    /** Reads (incl. PS prefetches) served by the Prefetch Buffer, %. */
+    double coverage_pct = 0.0;
+
+    /** Regular commands delayed by memory-side prefetches, percent. */
+    double delayed_regular_pct = 0.0;
+
+    // --- raw counters for deeper analysis ---
+    std::uint64_t mc_reads = 0;
+    std::uint64_t mc_writes = 0;
+    std::uint64_t ms_prefetches_issued = 0;
+    std::uint64_t buffer_hits = 0;
+    std::uint64_t lpq_drops = 0;
+};
+
+/**
+ * The paper's "performance gain" of @p faster over @p slower in
+ * percent: how much higher the faster configuration's performance is.
+ */
+inline double
+perfGainPct(Cycle baseline_cycles, Cycle improved_cycles)
+{
+    if (improved_cycles == 0)
+        return 0.0;
+    return (static_cast<double>(baseline_cycles) /
+                static_cast<double>(improved_cycles) -
+            1.0) *
+           100.0;
+}
+
+} // namespace asd
+
+#endif // ASD_SIM_METRICS_HPP

@@ -1,0 +1,300 @@
+#include "sim/system.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace asd
+{
+
+namespace
+{
+
+// Read-completion id encoding: kind | thread | line.
+constexpr std::uint64_t kKindShift = 56;
+constexpr std::uint64_t kThreadShift = 48;
+constexpr std::uint64_t kLineMask = (1ULL << kThreadShift) - 1;
+
+enum class ReqKind : std::uint64_t
+{
+    Load = 0,
+    Rfo = 1,
+    PsL1 = 2,
+    PsL2 = 3,
+};
+
+std::uint64_t
+encodeId(ReqKind kind, std::uint32_t thread, LineAddr line)
+{
+    panicIfNot(line <= kLineMask, "line address exceeds id encoding");
+    return (static_cast<std::uint64_t>(kind) << kKindShift) |
+           (static_cast<std::uint64_t>(thread) << kThreadShift) | line;
+}
+
+} // namespace
+
+System::System(const SystemConfig &config,
+               std::vector<TraceSource *> traces)
+    : config_(config),
+      dram_(config.dram),
+      mc_(config.mc, dram_,
+          [this](std::uint64_t id, Cycle done) { onReadDone(id, done); }),
+      hierarchy_(config.hierarchy)
+{
+    if (traces.empty())
+        fatal("System: at least one trace required");
+
+    const auto threads = static_cast<std::uint32_t>(traces.size());
+
+    if (config_.hasMs()) {
+        AsdConfig asd_config = config_.asd;
+        asd_config.threads = threads;
+        switch (config_.mc_prefetcher) {
+          case McPrefetcherKind::Asd:
+            asd_ = std::make_unique<AsdPrefetcher>(asd_config);
+            mc_.attachPrefetcher(asd_.get());
+            buffer_ = &asd_->buffer();
+            asd_->registerStats(registry_, "asd");
+            break;
+          case McPrefetcherKind::NextLine:
+            baseline_ =
+                std::make_unique<NextLineMcPrefetcher>(asd_config);
+            mc_.attachPrefetcher(baseline_.get());
+            buffer_ = &baseline_->buffer();
+            break;
+          case McPrefetcherKind::P5Style:
+            baseline_ =
+                std::make_unique<P5StyleMcPrefetcher>(asd_config);
+            mc_.attachPrefetcher(baseline_.get());
+            buffer_ = &baseline_->buffer();
+            break;
+          case McPrefetcherKind::Ghb:
+            baseline_ = std::make_unique<GhbMcPrefetcher>(
+                asd_config, config_.ghb);
+            mc_.attachPrefetcher(baseline_.get());
+            buffer_ = &baseline_->buffer();
+            break;
+          case McPrefetcherKind::Stride:
+            baseline_ = std::make_unique<StrideMcPrefetcher>(
+                asd_config, config_.stride);
+            mc_.attachPrefetcher(baseline_.get());
+            buffer_ = &baseline_->buffer();
+            break;
+        }
+    }
+
+    for (std::uint32_t t = 0; t < threads; ++t) {
+        CpuPrefetcher *ps = nullptr;
+        if (config_.hasPs()) {
+            if (config_.ps_kind == PsKind::Asd) {
+                ps_.push_back(std::make_unique<AsdPsPrefetcher>(
+                    config_.asd_ps));
+            } else {
+                ps_.push_back(
+                    std::make_unique<PsPrefetcher>(config_.ps));
+            }
+            ps = ps_.back().get();
+            ps->registerStats(registry_,
+                              "ps.t" + std::to_string(t));
+        }
+        cpus_.push_back(std::make_unique<TraceCpu>(
+            config_.cpu, *traces[t], hierarchy_, ps, *this, t));
+        cpus_.back()->registerStats(registry_,
+                                    "cpu.t" + std::to_string(t));
+    }
+
+    dram_.registerStats(registry_);
+    mc_.registerStats(registry_, "mc");
+    hierarchy_.registerStats(registry_, "cache");
+    registry_.add("sys.ps_prefetch_reads", ps_prefetch_reads_);
+    registry_.add("sys.ps_prefetch_l3_fills", ps_prefetch_l3_fills_);
+    registry_.add("sys.ps_prefetch_dropped", ps_prefetch_dropped_);
+    registry_.add("sys.ps_merged_demands", ps_merged_demands_);
+}
+
+bool
+System::demandRead(LineAddr line, std::uint32_t thread, bool is_rfo)
+{
+    const ReqKind kind = is_rfo ? ReqKind::Rfo : ReqKind::Load;
+    const std::uint64_t id = encodeId(kind, thread, line);
+    if (ps_inflight_.count(line) > 0) {
+        // Ride the in-flight processor-side prefetch of this line.
+        ps_waiters_[line].push_back(id);
+        ps_merged_demands_.inc();
+        return true;
+    }
+    return mc_.enqueueRead(line, id, thread, now_);
+}
+
+void
+System::psPrefetch(LineAddr line, std::uint32_t thread, bool to_l1)
+{
+    // Already close enough to the core? Nothing to do.
+    if (hierarchy_.probe(HitLevel::L2, line) ||
+        (to_l1 && hierarchy_.probe(HitLevel::L1, line))) {
+        return;
+    }
+    if (hierarchy_.probe(HitLevel::L3, line)) {
+        // Served on-module without a memory command.
+        if (to_l1)
+            hierarchy_.fillPrefetchL1(line);
+        else
+            hierarchy_.fillPrefetchL2(line);
+        ps_prefetch_l3_fills_.inc();
+        return;
+    }
+    if (ps_inflight_.count(line) > 0)
+        return; // already being fetched
+    if (config_.ps_oracle) {
+        // Limit study: instant, free fills.
+        if (to_l1)
+            hierarchy_.fillPrefetchL1(line);
+        else
+            hierarchy_.fillPrefetchL2(line);
+        return;
+    }
+    const ReqKind kind = to_l1 ? ReqKind::PsL1 : ReqKind::PsL2;
+    if (mc_.enqueueRead(line, encodeId(kind, thread, line), thread,
+                        now_)) {
+        ps_prefetch_reads_.inc();
+        ps_inflight_.insert(line);
+    } else {
+        ps_prefetch_dropped_.inc(); // prefetches are never retried
+    }
+}
+
+void
+System::onReadDone(std::uint64_t id, Cycle done)
+{
+    const auto kind = static_cast<ReqKind>(id >> kKindShift);
+    const auto thread =
+        static_cast<std::uint32_t>((id >> kThreadShift) & 0xff);
+    const LineAddr line = id & kLineMask;
+    switch (kind) {
+      case ReqKind::Load:
+        cpus_[thread]->loadDone(line, done);
+        break;
+      case ReqKind::Rfo:
+        cpus_[thread]->storeDone(line, done);
+        break;
+      case ReqKind::PsL1:
+      case ReqKind::PsL2:
+        if (kind == ReqKind::PsL1)
+            hierarchy_.fillPrefetchL1(line);
+        else
+            hierarchy_.fillPrefetchL2(line);
+        ps_inflight_.erase(line);
+        if (const auto it = ps_waiters_.find(line);
+            it != ps_waiters_.end()) {
+            const std::vector<std::uint64_t> waiters =
+                std::move(it->second);
+            ps_waiters_.erase(it);
+            for (const std::uint64_t waiter_id : waiters)
+                onReadDone(waiter_id, done);
+        }
+        break;
+    }
+}
+
+void
+System::drainWritebacks()
+{
+    for (const LineAddr line : hierarchy_.drainWritebacks())
+        pending_writebacks_.push_back(line);
+    while (!pending_writebacks_.empty()) {
+        if (!mc_.enqueueWrite(pending_writebacks_.front(), now_))
+            break;
+        pending_writebacks_.pop_front();
+    }
+}
+
+bool
+System::everythingDone() const
+{
+    if (!pending_writebacks_.empty() || !mc_.idle())
+        return false;
+    return std::all_of(cpus_.begin(), cpus_.end(),
+                       [](const auto &cpu) { return cpu->finished(); });
+}
+
+Cycles
+System::fastForwardable() const
+{
+    if (!config_.fast_forward)
+        return 0;
+    // Safe to skip cycles only when the memory side is quiescent.
+    if (mc_.hasWork() || !pending_writebacks_.empty())
+        return 0;
+    Cycles skip = kNoCycle;
+    for (const auto &cpu : cpus_) {
+        if (cpu->finished())
+            continue;
+        const Cycles next = cpu->nextEventIn(now_);
+        if (next == kNoCycle)
+            return 0; // a CPU waits on a callback that cannot come
+        skip = std::min(skip, next);
+    }
+    if (skip == kNoCycle || skip <= 1)
+        return 0;
+    return skip - 1;
+}
+
+RunMetrics
+System::run()
+{
+    while (!everythingDone()) {
+        if (now_ >= config_.max_cycles)
+            fatal("System: max_cycles exceeded; simulation wedged?");
+        for (auto &cpu : cpus_)
+            cpu->tick(now_);
+        drainWritebacks();
+        mc_.tick(now_);
+        drainWritebacks();
+        const Cycles skip = fastForwardable();
+        now_ += 1 + skip;
+    }
+
+    RunMetrics metrics;
+    metrics.cycles = now_;
+    for (const auto &cpu : cpus_)
+        metrics.accesses += cpu->retiredAccesses();
+
+    const PowerModel power_model(config_.dram);
+    metrics.power = power_model.report(dram_, now_);
+    metrics.dram_watts =
+        metrics.power.averageWatts(now_, config_.cpu_hz);
+    metrics.dram_energy_mj = metrics.power.totalPj() * 1e-9;
+
+    metrics.mc_reads = mc_.readsObserved();
+    metrics.mc_writes = mc_.writesObserved();
+    metrics.ms_prefetches_issued = mc_.prefetchesIssued();
+    metrics.buffer_hits = mc_.bufferHits();
+    metrics.lpq_drops = mc_.lpqDrops();
+
+    if (buffer_) {
+        // Useful = consumed from the buffer + forwarded straight to a
+        // merged demand read, over all memory-side prefetches issued.
+        const std::uint64_t useful =
+            buffer_->consumed() + mc_.prefetchesMergedUseful();
+        if (metrics.ms_prefetches_issued > 0) {
+            metrics.useful_prefetch_pct =
+                100.0 * static_cast<double>(useful) /
+                static_cast<double>(metrics.ms_prefetches_issued);
+        }
+        if (metrics.mc_reads > 0) {
+            metrics.coverage_pct =
+                100.0 * static_cast<double>(metrics.buffer_hits) /
+                static_cast<double>(metrics.mc_reads);
+        }
+        const std::uint64_t regulars =
+            metrics.mc_reads - metrics.buffer_hits + metrics.mc_writes;
+        if (regulars > 0) {
+            metrics.delayed_regular_pct =
+                100.0 * static_cast<double>(mc_.regularsDelayed()) /
+                static_cast<double>(regulars);
+        }
+    }
+    return metrics;
+}
+
+} // namespace asd

@@ -1,0 +1,113 @@
+#ifndef ASD_SIM_SYSTEM_HPP
+#define ASD_SIM_SYSTEM_HPP
+
+/**
+ * @file
+ * Full-system wiring: trace CPUs -> cache hierarchy -> memory
+ * controller (+ memory-side prefetcher) -> DDR2 DRAM, with the
+ * processor-side prefetcher and writeback plumbing. One System
+ * instance simulates one benchmark run in one configuration.
+ */
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/hierarchy.hpp"
+#include "common/stats.hpp"
+#include "core/asd_prefetcher.hpp"
+#include "cpu/trace_cpu.hpp"
+#include "dram/dram.hpp"
+#include "dram/power.hpp"
+#include "mc/memory_controller.hpp"
+#include "prefetch/mc_baselines.hpp"
+#include "prefetch/ps_prefetcher.hpp"
+#include "sim/metrics.hpp"
+#include "sim/system_config.hpp"
+
+namespace asd
+{
+
+/** A complete simulated machine. */
+class System : public MemPort
+{
+  public:
+    /**
+     * @param traces one trace per hardware thread (1 = single
+     *        threaded, 2 = the paper's SMT experiments). Pointers
+     *        must outlive the System.
+     */
+    System(const SystemConfig &config,
+           std::vector<TraceSource *> traces);
+
+    /** Run to completion and report. */
+    RunMetrics run();
+
+    // MemPort interface (called by the trace CPUs) ------------------
+    bool demandRead(LineAddr line, std::uint32_t thread,
+                    bool is_rfo) override;
+    void psPrefetch(LineAddr line, std::uint32_t thread,
+                    bool to_l1) override;
+
+    // Introspection for benches/tests -------------------------------
+    const MemoryController &mc() const { return mc_; }
+
+    /**
+     * Mutable controller access for experiment harnesses that
+     * interpose on the prefetcher interface (e.g. the Fig. 16 SLH
+     * accuracy probe taps the controller-visible read stream).
+     */
+    MemoryController &mc() { return mc_; }
+    const Dram &dram() const { return dram_; }
+    const CacheHierarchy &hierarchy() const { return hierarchy_; }
+    const StatRegistry &stats() const { return registry_; }
+
+    /** Non-null when the MC prefetcher is ASD. */
+    AsdPrefetcher *asd() { return asd_.get(); }
+    const AsdPrefetcher *asd() const { return asd_.get(); }
+
+    Cycle nowCycle() const { return now_; }
+
+  private:
+    void onReadDone(std::uint64_t id, Cycle done);
+    void drainWritebacks();
+    bool everythingDone() const;
+    Cycles fastForwardable() const;
+
+    SystemConfig config_;
+    Dram dram_;
+    MemoryController mc_;
+    CacheHierarchy hierarchy_;
+
+    std::unique_ptr<AsdPrefetcher> asd_;
+    std::unique_ptr<BufferedMcPrefetcher> baseline_;
+    const PrefetchBuffer *buffer_ = nullptr; //!< whichever is active
+
+    std::vector<std::unique_ptr<CpuPrefetcher>> ps_;
+    std::vector<std::unique_ptr<TraceCpu>> cpus_;
+
+    std::deque<LineAddr> pending_writebacks_;
+    Cycle now_ = 0;
+
+    /**
+     * Processor-side prefetch reads currently in flight, and demand
+     * requests merged onto them (MSHR-style: a demand miss to a line
+     * already being prefetched waits for that fill instead of
+     * re-fetching it).
+     */
+    std::unordered_set<LineAddr> ps_inflight_;
+    std::unordered_map<LineAddr, std::vector<std::uint64_t>>
+        ps_waiters_;
+
+    StatRegistry registry_;
+    Counter ps_prefetch_reads_;
+    Counter ps_prefetch_l3_fills_;
+    Counter ps_prefetch_dropped_;
+    Counter ps_merged_demands_;
+};
+
+} // namespace asd
+
+#endif // ASD_SIM_SYSTEM_HPP

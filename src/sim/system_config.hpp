@@ -1,0 +1,106 @@
+#ifndef ASD_SIM_SYSTEM_CONFIG_HPP
+#define ASD_SIM_SYSTEM_CONFIG_HPP
+
+/**
+ * @file
+ * Top-level configuration: which prefetchers are present (the paper's
+ * NP / PS / MS / PMS configurations) and the parameters of every
+ * substrate.
+ */
+
+#include <cstdint>
+
+#include "cache/hierarchy.hpp"
+#include "core/asd_config.hpp"
+#include "cpu/trace_cpu.hpp"
+#include "dram/dram_config.hpp"
+#include "mc/memory_controller.hpp"
+#include "prefetch/asd_ps_prefetcher.hpp"
+#include "prefetch/ghb_prefetcher.hpp"
+#include "prefetch/stride_prefetcher.hpp"
+#include "prefetch/ps_prefetcher.hpp"
+
+namespace asd
+{
+
+/** The four evaluated configurations (section 5.2). */
+enum class PrefetchMode : std::uint8_t
+{
+    NP,  //!< no prefetching
+    PS,  //!< processor-side only
+    MS,  //!< memory-side only
+    PMS, //!< both
+};
+
+/** Which processor-side prefetcher the cores use. */
+enum class PsKind : std::uint8_t
+{
+    Power5, //!< the paper's baseline sequential stream prefetcher
+    Asd,    //!< ASD on the processor side (paper section 6 future work)
+};
+
+/** Which memory-side prefetcher sits in the controller (Fig. 11). */
+enum class McPrefetcherKind : std::uint8_t
+{
+    Asd,      //!< Adaptive Stream Detection (the paper's design)
+    NextLine, //!< no ASD + next-line + adaptive scheduling
+    P5Style,  //!< no ASD + P5-style streams + adaptive scheduling
+    Ghb,      //!< Global History Buffer (G/AC), related work [18]
+    Stride,   //!< Baer-Chen-style stride detector, related work [2]
+};
+
+/** Everything needed to build a System. */
+struct SystemConfig
+{
+    PrefetchMode mode = PrefetchMode::PMS;
+    McPrefetcherKind mc_prefetcher = McPrefetcherKind::Asd;
+
+    PsKind ps_kind = PsKind::Power5;
+
+    CpuConfig cpu;
+    HierarchyConfig hierarchy;
+    DramConfig dram;
+    McConfig mc;
+    AsdConfig asd;
+    PsConfig ps;
+    AsdPsConfig asd_ps;
+    GhbConfig ghb;
+    StrideConfig stride;
+
+    /** Simulated CPU frequency (power reporting). */
+    double cpu_hz = 2.132e9;
+
+    /** Hard stop against wedged simulations. */
+    Cycle max_cycles = 400'000'000;
+
+    /**
+     * Skip cycles in which no component can make progress. Purely a
+     * simulation speedup; results are identical either way (tested).
+     */
+    bool fast_forward = true;
+
+    /**
+     * Idealized processor-side prefetching: PS requests fill the
+     * caches instantly instead of travelling through the memory
+     * system. A limit study knob — it bounds how much of the PS
+     * configuration's shortfall is due to prefetch timing and
+     * bandwidth rather than prediction quality.
+     */
+    bool ps_oracle = false;
+
+    bool
+    hasPs() const
+    {
+        return mode == PrefetchMode::PS || mode == PrefetchMode::PMS;
+    }
+
+    bool
+    hasMs() const
+    {
+        return mode == PrefetchMode::MS || mode == PrefetchMode::PMS;
+    }
+};
+
+} // namespace asd
+
+#endif // ASD_SIM_SYSTEM_CONFIG_HPP

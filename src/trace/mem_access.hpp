@@ -1,0 +1,44 @@
+#ifndef ASD_TRACE_MEM_ACCESS_HPP
+#define ASD_TRACE_MEM_ACCESS_HPP
+
+/**
+ * @file
+ * The unit of work consumed by the trace-driven CPU model: one memory
+ * operation plus the number of non-memory instructions preceding it.
+ */
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace asd
+{
+
+/** Kind of memory operation in a trace. */
+enum class MemOp : std::uint8_t { Read, Write };
+
+/**
+ * One trace record. Addresses are byte addresses; the CPU model and
+ * caches operate on 128 B lines derived from them.
+ */
+struct MemAccess
+{
+    /** Byte address touched. */
+    Addr addr = 0;
+
+    /** Non-memory instructions executed before this access. */
+    std::uint32_t gap = 0;
+
+    /** Read or write. */
+    MemOp op = MemOp::Read;
+
+    /**
+     * True when the access depends on the previous load's value
+     * (pointer chasing); the CPU serializes behind outstanding loads.
+     */
+    bool dependent = false;
+};
+
+} // namespace asd
+
+#endif // ASD_TRACE_MEM_ACCESS_HPP

@@ -1,0 +1,144 @@
+#include "trace/trace_file.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace asd
+{
+
+namespace
+{
+
+constexpr std::array<char, 4> kMagic = {'A', 'S', 'D', 'T'};
+
+struct FileCloser
+{
+    void
+    operator()(std::FILE *f) const
+    {
+        if (f)
+            std::fclose(f);
+    }
+};
+
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+void
+putU32(std::FILE *f, std::uint32_t v)
+{
+    unsigned char buf[4];
+    for (int i = 0; i < 4; ++i)
+        buf[i] = static_cast<unsigned char>(v >> (8 * i));
+    if (std::fwrite(buf, 1, sizeof(buf), f) != sizeof(buf))
+        fatal("trace file: short write");
+}
+
+void
+putU64(std::FILE *f, std::uint64_t v)
+{
+    unsigned char buf[8];
+    for (int i = 0; i < 8; ++i)
+        buf[i] = static_cast<unsigned char>(v >> (8 * i));
+    if (std::fwrite(buf, 1, sizeof(buf), f) != sizeof(buf))
+        fatal("trace file: short write");
+}
+
+std::uint32_t
+getU32(std::FILE *f)
+{
+    unsigned char buf[4];
+    if (std::fread(buf, 1, sizeof(buf), f) != sizeof(buf))
+        fatal("trace file: truncated");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(buf[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+getU64(std::FILE *f)
+{
+    unsigned char buf[8];
+    if (std::fread(buf, 1, sizeof(buf), f) != sizeof(buf))
+        fatal("trace file: truncated");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+void
+writeTraceFile(const std::string &path,
+               const std::vector<MemAccess> &accesses)
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        fatal("cannot open trace file for writing: " + path);
+    if (std::fwrite(kMagic.data(), 1, kMagic.size(), f.get()) !=
+        kMagic.size()) {
+        fatal("trace file: short write");
+    }
+    putU32(f.get(), kTraceFormatVersion);
+    putU64(f.get(), accesses.size());
+    for (const auto &acc : accesses) {
+        putU64(f.get(), acc.addr);
+        putU32(f.get(), acc.gap);
+        const unsigned char flags = static_cast<unsigned char>(
+            (acc.op == MemOp::Write ? 1u : 0u) |
+            (acc.dependent ? 2u : 0u));
+        if (std::fwrite(&flags, 1, 1, f.get()) != 1)
+            fatal("trace file: short write");
+    }
+}
+
+std::vector<MemAccess>
+readTraceFile(const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        fatal("cannot open trace file: " + path);
+    std::array<char, 4> magic{};
+    if (std::fread(magic.data(), 1, magic.size(), f.get()) != magic.size())
+        fatal("trace file: truncated header: " + path);
+    if (magic != kMagic)
+        fatal("trace file: bad magic: " + path);
+    const std::uint32_t version = getU32(f.get());
+    if (version != kTraceFormatVersion)
+        fatal("trace file: unsupported version: " + path);
+    const std::uint64_t count = getU64(f.get());
+
+    std::vector<MemAccess> out;
+    out.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        MemAccess acc;
+        acc.addr = getU64(f.get());
+        acc.gap = getU32(f.get());
+        unsigned char flags = 0;
+        if (std::fread(&flags, 1, 1, f.get()) != 1)
+            fatal("trace file: truncated record");
+        acc.op = (flags & 1u) ? MemOp::Write : MemOp::Read;
+        acc.dependent = (flags & 2u) != 0;
+        out.push_back(acc);
+    }
+    return out;
+}
+
+FileTraceSource::FileTraceSource(const std::string &path)
+    : accesses_(readTraceFile(path))
+{
+}
+
+bool
+FileTraceSource::next(MemAccess &out)
+{
+    if (pos_ >= accesses_.size())
+        return false;
+    out = accesses_[pos_++];
+    return true;
+}
+
+} // namespace asd

@@ -1,0 +1,52 @@
+#ifndef ASD_TRACE_TRACE_FILE_HPP
+#define ASD_TRACE_TRACE_FILE_HPP
+
+/**
+ * @file
+ * A compact binary on-disk trace format so users can drive the
+ * simulator with their own access traces (see examples/custom_trace).
+ *
+ * Layout: 16-byte header ("ASDT", u32 version, u64 record count)
+ * followed by packed records of {u64 addr, u32 gap, u8 flags}.
+ * Flags: bit 0 = write, bit 1 = dependent.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/trace_source.hpp"
+
+namespace asd
+{
+
+/** Current trace file format version. */
+inline constexpr std::uint32_t kTraceFormatVersion = 1;
+
+/** Write @p accesses to @p path; fatal() on I/O failure. */
+void writeTraceFile(const std::string &path,
+                    const std::vector<MemAccess> &accesses);
+
+/** Read a whole trace file; fatal() on I/O or format errors. */
+std::vector<MemAccess> readTraceFile(const std::string &path);
+
+/** TraceSource streaming from a trace file loaded into memory. */
+class FileTraceSource : public TraceSource
+{
+  public:
+    explicit FileTraceSource(const std::string &path);
+
+    bool next(MemAccess &out) override;
+    void reset() override { pos_ = 0; }
+
+    std::size_t size() const { return accesses_.size(); }
+
+  private:
+    std::vector<MemAccess> accesses_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace asd
+
+#endif // ASD_TRACE_TRACE_FILE_HPP

@@ -1,0 +1,62 @@
+#ifndef ASD_TRACE_TRACE_SOURCE_HPP
+#define ASD_TRACE_TRACE_SOURCE_HPP
+
+/**
+ * @file
+ * Abstract producer of MemAccess records. Implemented by the synthetic
+ * workload generator, the trace-file reader, and an in-memory vector
+ * source used heavily by tests.
+ */
+
+#include <utility>
+#include <vector>
+
+#include "trace/mem_access.hpp"
+
+namespace asd
+{
+
+/** Pull-based trace producer. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next record.
+     * @param out filled on success.
+     * @retval false when the trace is exhausted.
+     */
+    virtual bool next(MemAccess &out) = 0;
+
+    /** Restart the trace from the beginning. */
+    virtual void reset() = 0;
+};
+
+/** TraceSource over a caller-provided vector; used by tests. */
+class VectorTraceSource : public TraceSource
+{
+  public:
+    explicit VectorTraceSource(std::vector<MemAccess> accesses)
+        : accesses_(std::move(accesses))
+    {}
+
+    bool
+    next(MemAccess &out) override
+    {
+        if (pos_ >= accesses_.size())
+            return false;
+        out = accesses_[pos_++];
+        return true;
+    }
+
+    void reset() override { pos_ = 0; }
+
+  private:
+    std::vector<MemAccess> accesses_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace asd
+
+#endif // ASD_TRACE_TRACE_SOURCE_HPP

@@ -1,0 +1,61 @@
+#include "workloads/pmf.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/log.hpp"
+
+namespace asd
+{
+
+std::vector<double>
+geometricPmf(double ratio, std::size_t n)
+{
+    panicIfNot(n > 0, "geometricPmf: empty support");
+    panicIfNot(ratio > 0.0, "geometricPmf: ratio must be positive");
+    std::vector<double> weights(n);
+    double w = 1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        weights[i] = w;
+        w *= ratio;
+    }
+    return weights;
+}
+
+std::vector<double>
+peakedPmf(std::size_t peak, std::size_t width, std::size_t n)
+{
+    panicIfNot(n > 0 && peak >= 1 && peak <= n,
+               "peakedPmf: peak outside support");
+    std::vector<double> weights(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto len = static_cast<double>(i + 1);
+        const double dist = std::fabs(len - static_cast<double>(peak));
+        const double w =
+            1.0 - dist / (static_cast<double>(width) + 1.0);
+        weights[i] = w > 0.0 ? w : 0.0;
+    }
+    return weights;
+}
+
+std::vector<double>
+readWeightedToStreamCounts(const std::vector<double> &bars)
+{
+    std::vector<double> weights(bars.size());
+    for (std::size_t i = 0; i < bars.size(); ++i)
+        weights[i] = bars[i] / static_cast<double>(i + 1);
+    return weights;
+}
+
+std::vector<double>
+blendPmf(const std::vector<double> &x, const std::vector<double> &y,
+         double a)
+{
+    panicIfNot(x.size() == y.size(), "blendPmf: size mismatch");
+    std::vector<double> out(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        out[i] = a * x[i] + (1.0 - a) * y[i];
+    return out;
+}
+
+} // namespace asd

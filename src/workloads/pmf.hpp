@@ -1,0 +1,44 @@
+#ifndef ASD_WORKLOADS_PMF_HPP
+#define ASD_WORKLOADS_PMF_HPP
+
+/**
+ * @file
+ * Helpers for building stream-length PMFs (unnormalized weights over
+ * lengths 1..n) used by the benchmark profiles.
+ */
+
+#include <cstddef>
+#include <vector>
+
+namespace asd
+{
+
+/**
+ * Geometric stream-length weights: weight(len) = ratio^(len-1).
+ * Small ratios model poor spatial locality (mostly length-1/2
+ * streams); ratios near 1 model streaming workloads.
+ */
+std::vector<double> geometricPmf(double ratio, std::size_t n);
+
+/**
+ * Weights peaked around @p peak with triangular falloff of the given
+ * half-@p width; models workloads dominated by a natural tile size.
+ */
+std::vector<double> peakedPmf(std::size_t peak, std::size_t width,
+                              std::size_t n);
+
+/**
+ * Convert read-weighted SLH bars (the paper's figures) into
+ * stream-count weights: weight(len) = bar(len) / len. Lets profiles
+ * be specified in the same units as Fig. 2.
+ */
+std::vector<double> readWeightedToStreamCounts(
+    const std::vector<double> &bars);
+
+/** Pointwise blend a*x + (1-a)*y of two equal-length weight vectors. */
+std::vector<double> blendPmf(const std::vector<double> &x,
+                             const std::vector<double> &y, double a);
+
+} // namespace asd
+
+#endif // ASD_WORKLOADS_PMF_HPP

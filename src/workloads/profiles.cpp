@@ -1,0 +1,269 @@
+#include "workloads/profiles.hpp"
+
+#include "common/log.hpp"
+#include "workloads/pmf.hpp"
+
+namespace asd
+{
+
+namespace
+{
+
+constexpr std::size_t kPmfLen = 32;
+constexpr std::uint64_t kMiB = 1ULL << 20;
+
+/** Base record for one benchmark; phases default to a single PMF. */
+Benchmark
+make(const std::string &name, std::uint64_t seed, double mean_gap,
+     double touches, std::uint64_t accesses, std::uint64_t ws_mib,
+     double reuse, double write_frac, double dep_frac,
+     std::uint32_t streams, std::vector<PhaseProfile> phases)
+{
+    Benchmark bench;
+    bench.name = name;
+    bench.trace.seed = seed;
+    bench.trace.total_accesses = accesses;
+    bench.trace.working_set_bytes = ws_mib * kMiB;
+    bench.trace.mean_gap = mean_gap;
+    bench.trace.mean_touches_per_line = touches;
+    bench.trace.reuse_frac = reuse;
+    bench.trace.write_frac = write_frac;
+    bench.trace.dependent_frac = dep_frac;
+    bench.trace.negative_dir_frac = 0.1;
+    bench.trace.concurrent_streams = streams;
+    bench.trace.phases = std::move(phases);
+    return bench;
+}
+
+std::vector<PhaseProfile>
+onePhase(std::vector<double> weights)
+{
+    return {PhaseProfile{std::move(weights), 0}};
+}
+
+/**
+ * GemsFDTD's Fig. 2 epoch, specified in read-weighted bars. The
+ * leading bars are the paper's reported 21.8% / 43.7%; the tail is
+ * constructed so the resulting SLH makes exactly the prefetch
+ * decisions the paper narrates in section 3.1: prefetch after stream
+ * elements 1, 3 and 7..15, but not after 2, 4, 5 or 6 (verified by
+ * Workloads.GemsPhaseAMatchesPaperDecisions).
+ */
+std::vector<double>
+gemsPhaseA()
+{
+    std::vector<double> bars = {21.8, 43.7, 11.13, 10.12, 5.75, 3.14,
+                                0.70, 0.62, 0.54,  0.46,  0.39, 0.32,
+                                0.27, 0.22, 0.18,  0.66};
+    bars.resize(kPmfLen, 0.02);
+    return readWeightedToStreamCounts(bars);
+}
+
+const std::vector<Benchmark> &
+specSuite()
+{
+    static const std::vector<Benchmark> suite = [] {
+        std::vector<Benchmark> s;
+        // Streaming, memory-bound FP codes: long-ish streams, large
+        // working sets, several touches per 128 B line, low compute
+        // per access.
+        s.push_back(make("bwaves", 101, 4.0, 14, 500000, 512, 0.20,
+                         0.18, 0.18, 6,
+                         onePhase(blendPmf(geometricPmf(0.55, kPmfLen),
+                                           peakedPmf(10, 6, kPmfLen),
+                                           0.55))));
+        s.push_back(make("gamess", 102, 50.0, 10, 120000, 3, 0.70,
+                         0.25, 0.0, 2,
+                         onePhase(geometricPmf(0.5, kPmfLen))));
+        s.push_back(make("milc", 103, 4.0, 12, 500000, 512, 0.25, 0.20,
+                         0.18, 6,
+                         onePhase(geometricPmf(0.6, kPmfLen))));
+        s.push_back(make("zeusmp", 104, 5.0, 14, 450000, 384, 0.28,
+                         0.22, 0.15, 6,
+                         onePhase(peakedPmf(6, 5, kPmfLen))));
+        s.push_back(make("gromacs", 105, 8.0, 8, 250000, 32, 0.50,
+                         0.25, 0.08, 4,
+                         onePhase(blendPmf(geometricPmf(0.5, kPmfLen),
+                                           peakedPmf(6, 4, kPmfLen),
+                                           0.5))));
+        s.push_back(make("cactusADM", 106, 5.0, 14, 450000, 384, 0.28,
+                         0.20, 0.15, 6,
+                         onePhase(peakedPmf(8, 6, kPmfLen))));
+        s.push_back(make("leslie3d", 107, 4.0, 14, 500000, 512, 0.22,
+                         0.20, 0.18, 6,
+                         onePhase(blendPmf(geometricPmf(0.5, kPmfLen),
+                                           peakedPmf(12, 8, kPmfLen),
+                                           0.5))));
+        s.push_back(make("namd", 108, 45.0, 10, 120000, 6, 0.70, 0.22,
+                         0.05, 2,
+                         onePhase(geometricPmf(0.45, kPmfLen))));
+        s.push_back(make("dealII", 109, 5.0, 8, 300000, 96, 0.40,
+                         0.22, 0.15, 5,
+                         onePhase(blendPmf(geometricPmf(0.4, kPmfLen),
+                                           peakedPmf(6, 4, kPmfLen),
+                                           0.5))));
+        s.push_back(make("soplex", 110, 4.0, 8, 450000, 256, 0.30,
+                         0.18, 0.20, 6,
+                         onePhase(blendPmf(geometricPmf(0.4, kPmfLen),
+                                           peakedPmf(8, 5, kPmfLen),
+                                           0.45))));
+        s.push_back(make("povray", 111, 60.0, 10, 120000, 2, 0.75,
+                         0.20, 0.05, 2,
+                         onePhase(geometricPmf(0.4, kPmfLen))));
+        s.push_back(make("calculix", 112, 40.0, 10, 120000, 8, 0.65,
+                         0.25, 0.05, 2,
+                         onePhase(geometricPmf(0.5, kPmfLen))));
+        // GemsFDTD cycles through three phases so its epoch SLHs vary
+        // widely over time (Fig. 3).
+        s.push_back(make(
+            "GemsFDTD", 113, 4.0, 12, 500000, 512, 0.25, 0.20, 0.15, 6,
+            {PhaseProfile{gemsPhaseA(), 30000},
+             PhaseProfile{peakedPmf(10, 5, kPmfLen), 30000},
+             PhaseProfile{blendPmf(geometricPmf(0.45, kPmfLen),
+                                   peakedPmf(4, 3, kPmfLen), 0.4),
+                          30000}}));
+        s.push_back(make("tonto", 114, 8.0, 8, 300000, 64, 0.45, 0.22,
+                         0.10, 4,
+                         onePhase(blendPmf(geometricPmf(0.38, kPmfLen),
+                                           peakedPmf(5, 3, kPmfLen),
+                                           0.5))));
+        s.push_back(make("lbm", 115, 3.5, 14, 500000, 512, 0.18, 0.25,
+                         0.15, 6,
+                         onePhase(blendPmf(geometricPmf(0.5, kPmfLen),
+                                           peakedPmf(16, 10, kPmfLen),
+                                           0.45))));
+        s.push_back(make("wrf", 116, 5.0, 12, 450000, 320, 0.30, 0.22,
+                         0.12, 6,
+                         onePhase(peakedPmf(5, 4, kPmfLen))));
+        s.push_back(make("sphinx3", 117, 5.0, 10, 400000, 128, 0.35,
+                         0.15, 0.15, 6,
+                         onePhase(blendPmf(geometricPmf(0.45, kPmfLen),
+                                           peakedPmf(7, 4, kPmfLen),
+                                           0.5))));
+        return s;
+    }();
+    return suite;
+}
+
+const std::vector<Benchmark> &
+nasSuite()
+{
+    static const std::vector<Benchmark> suite = [] {
+        std::vector<Benchmark> s;
+        s.push_back(make("bt", 201, 5.0, 12, 400000, 256, 0.35, 0.25,
+                         0.08, 6, onePhase(peakedPmf(4, 3, kPmfLen))));
+        s.push_back(make("cg", 202, 5.0, 6, 400000, 384, 0.30, 0.12,
+                         0.25, 7,
+                         onePhase(blendPmf(geometricPmf(0.45, kPmfLen),
+                                           peakedPmf(4, 2, kPmfLen),
+                                           0.55))));
+        s.push_back(make("ep", 203, 70.0, 10, 120000, 2, 0.75, 0.20,
+                         0.0, 2, onePhase(geometricPmf(0.4, kPmfLen))));
+        s.push_back(make("ft", 204, 4.0, 14, 450000, 384, 0.25, 0.25,
+                         0.10, 6, onePhase(peakedPmf(12, 8, kPmfLen))));
+        s.push_back(make("is", 205, 5.0, 4, 400000, 256, 0.30, 0.30,
+                         0.10, 7,
+                         onePhase(blendPmf(geometricPmf(0.3, kPmfLen),
+                                           peakedPmf(4, 2, kPmfLen),
+                                           0.7))));
+        s.push_back(make("lu", 206, 5.0, 12, 400000, 256, 0.35, 0.22,
+                         0.05, 6, onePhase(peakedPmf(4, 3, kPmfLen))));
+        s.push_back(make("mg", 207, 4.0, 14, 450000, 384, 0.28, 0.22,
+                         0.10, 6, onePhase(peakedPmf(10, 7, kPmfLen))));
+        s.push_back(make("sp", 208, 5.0, 12, 400000, 256, 0.33, 0.24,
+                         0.08, 6, onePhase(peakedPmf(5, 4, kPmfLen))));
+        return s;
+    }();
+    return suite;
+}
+
+const std::vector<Benchmark> &
+commercialSuite()
+{
+    static const std::vector<Benchmark> suite = [] {
+        // Low spatial locality: stream-length weights chosen so
+        // lengths 1-5 cover 78-96% of streams (Fig. 12), with large
+        // working sets, pointer chasing and many interleaved contexts.
+        auto pmf = [](std::initializer_list<double> head) {
+            std::vector<double> weights(head);
+            weights.resize(kPmfLen, 0.004);
+            return weights;
+        };
+        std::vector<Benchmark> s;
+        s.push_back(make("tpcc", 301, 8.0, 3, 300000, 1536, 0.35,
+                         0.28, 0.25, 8,
+                         onePhase(pmf({0.55, 0.20, 0.10, 0.05, 0.04,
+                                       0.02, 0.01, 0.01}))));
+        s.push_back(make("trade2", 302, 9.0, 3, 300000, 1024, 0.38,
+                         0.25, 0.20, 8,
+                         onePhase(pmf({0.42, 0.25, 0.12, 0.07, 0.05,
+                                       0.03, 0.02, 0.01}))));
+        s.push_back(make("cpw2", 303, 8.0, 3, 300000, 1280, 0.36,
+                         0.27, 0.22, 8,
+                         onePhase(pmf({0.50, 0.22, 0.11, 0.06, 0.04,
+                                       0.02, 0.01, 0.01}))));
+        s.push_back(make("sap", 304, 9.0, 3, 300000, 1024, 0.40,
+                         0.26, 0.18, 8,
+                         onePhase(pmf({0.52, 0.18, 0.10, 0.07, 0.05,
+                                       0.03, 0.02, 0.01}))));
+        s.push_back(make("notesbench", 305, 8.0, 3, 300000, 768,
+                         0.36, 0.24, 0.15, 8,
+                         onePhase(pmf({0.33, 0.30, 0.15, 0.10, 0.07,
+                                       0.02, 0.01, 0.01}))));
+        return s;
+    }();
+    return suite;
+}
+
+} // namespace
+
+const std::vector<Benchmark> &
+suiteBenchmarks(Suite suite)
+{
+    switch (suite) {
+      case Suite::Spec2006fp:
+        return specSuite();
+      case Suite::Nas:
+        return nasSuite();
+      case Suite::Commercial:
+        return commercialSuite();
+    }
+    panic("unknown suite");
+}
+
+std::string
+suiteName(Suite suite)
+{
+    switch (suite) {
+      case Suite::Spec2006fp:
+        return "SPEC2006fp";
+      case Suite::Nas:
+        return "NAS";
+      case Suite::Commercial:
+        return "Commercial";
+    }
+    panic("unknown suite");
+}
+
+const Benchmark &
+findBenchmark(const std::string &name)
+{
+    for (const Suite suite : {Suite::Spec2006fp, Suite::Nas,
+                              Suite::Commercial}) {
+        for (const Benchmark &bench : suiteBenchmarks(suite))
+            if (bench.name == name)
+                return bench;
+    }
+    fatal("unknown benchmark: " + name);
+}
+
+std::vector<Benchmark>
+detailedStudyBenchmarks()
+{
+    return {findBenchmark("bwaves"), findBenchmark("milc"),
+            findBenchmark("GemsFDTD"), findBenchmark("tonto"),
+            findBenchmark("tpcc"),   findBenchmark("trade2"),
+            findBenchmark("sap"),    findBenchmark("notesbench")};
+}
+
+} // namespace asd

@@ -1,0 +1,52 @@
+#ifndef ASD_WORKLOADS_PROFILES_HPP
+#define ASD_WORKLOADS_PROFILES_HPP
+
+/**
+ * @file
+ * Synthetic analogs of the paper's three benchmark suites. Each
+ * profile fixes the knobs the memory-side prefetcher reacts to —
+ * memory intensity, stream-length distribution, working-set size,
+ * dependence, interleaving — at values chosen to land each benchmark
+ * in the qualitative regime the paper describes (e.g. GemsFDTD's
+ * Fig. 2 epoch SLH, the commercial suite's 78-96% short streams).
+ * These are trace generators, not the SPEC/NAS/IBM binaries; see
+ * DESIGN.md section 2 for the substitution argument.
+ */
+
+#include <string>
+#include <vector>
+
+#include "trace/synthetic.hpp"
+
+namespace asd
+{
+
+/** One named synthetic benchmark. */
+struct Benchmark
+{
+    std::string name;
+    SyntheticConfig trace;
+};
+
+/** The paper's three suites. */
+enum class Suite { Spec2006fp, Nas, Commercial };
+
+/** All benchmarks of @p suite, in the paper's figure order. */
+const std::vector<Benchmark> &suiteBenchmarks(Suite suite);
+
+/** Human-readable suite name. */
+std::string suiteName(Suite suite);
+
+/** Find a benchmark by name across all suites; fatal() if unknown. */
+const Benchmark &findBenchmark(const std::string &name);
+
+/**
+ * The eight benchmarks used by the paper's detailed studies
+ * (Figs. 11-16): bwaves, milc, GemsFDTD, tonto, tpcc, trade2, sap,
+ * notesbench.
+ */
+std::vector<Benchmark> detailedStudyBenchmarks();
+
+} // namespace asd
+
+#endif // ASD_WORKLOADS_PROFILES_HPP

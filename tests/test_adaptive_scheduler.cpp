@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for Adaptive Scheduling (paper section 3.5): the hysteresis
+ * policy walk driven by prefetch-conflict feedback, the policy
+ * bounds, and the pinned-policy mode used by the Fig. 11 ablation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive_scheduler.hpp"
+
+namespace asd
+{
+namespace
+{
+
+AdaptiveSchedConfig
+config(bool adaptive = true)
+{
+    AdaptiveSchedConfig cfg;
+    cfg.adaptive = adaptive;
+    cfg.start_policy = 3;
+    cfg.fixed_policy = 2;
+    cfg.high_watermark = 10;
+    cfg.low_watermark = 3;
+    return cfg;
+}
+
+TEST(AdaptiveSched, StartsAtStartPolicy)
+{
+    AdaptiveScheduler sched(config());
+    EXPECT_EQ(sched.policy(), 3);
+}
+
+TEST(AdaptiveSched, QuietEpochsStepTowardAggressive)
+{
+    AdaptiveScheduler sched(config());
+    sched.epochEnd();
+    EXPECT_EQ(sched.policy(), 4);
+    sched.epochEnd();
+    EXPECT_EQ(sched.policy(), 5);
+    sched.epochEnd();
+    EXPECT_EQ(sched.policy(), 5); // clamped at 5
+}
+
+TEST(AdaptiveSched, ConflictHeavyEpochsStepTowardConservative)
+{
+    AdaptiveScheduler sched(config());
+    for (int epoch = 0; epoch < 3; ++epoch) {
+        for (int i = 0; i < 20; ++i)
+            sched.notifyConflict();
+        sched.epochEnd();
+    }
+    EXPECT_EQ(sched.policy(), 1); // walked 3 -> 2 -> 1, clamped
+}
+
+TEST(AdaptiveSched, MidBandHoldsPolicy)
+{
+    AdaptiveScheduler sched(config());
+    for (int i = 0; i < 5; ++i) // between low (3) and high (10)
+        sched.notifyConflict();
+    sched.epochEnd();
+    EXPECT_EQ(sched.policy(), 3);
+}
+
+TEST(AdaptiveSched, ConflictCountResetsEachEpoch)
+{
+    AdaptiveScheduler sched(config());
+    for (int i = 0; i < 8; ++i)
+        sched.notifyConflict();
+    EXPECT_EQ(sched.epochConflicts(), 8u);
+    sched.epochEnd();
+    EXPECT_EQ(sched.epochConflicts(), 0u);
+}
+
+TEST(AdaptiveSched, PinnedModeIgnoresFeedback)
+{
+    AdaptiveScheduler sched(config(false));
+    EXPECT_EQ(sched.policy(), 2);
+    for (int epoch = 0; epoch < 4; ++epoch)
+        sched.epochEnd();
+    EXPECT_EQ(sched.policy(), 2);
+    for (int i = 0; i < 100; ++i)
+        sched.notifyConflict();
+    sched.epochEnd();
+    EXPECT_EQ(sched.policy(), 2);
+}
+
+TEST(AdaptiveSched, ExactWatermarksAreInclusiveBand)
+{
+    AdaptiveScheduler sched(config());
+    // Exactly high_watermark conflicts: not "greater", so hold.
+    for (int i = 0; i < 10; ++i)
+        sched.notifyConflict();
+    sched.epochEnd();
+    EXPECT_EQ(sched.policy(), 3);
+    // Exactly low_watermark: not "less", so hold.
+    for (int i = 0; i < 3; ++i)
+        sched.notifyConflict();
+    sched.epochEnd();
+    EXPECT_EQ(sched.policy(), 3);
+}
+
+TEST(AdaptiveSched, RejectsBadPolicy)
+{
+    AdaptiveSchedConfig bad = config(false);
+    bad.fixed_policy = 6;
+    EXPECT_EXIT(AdaptiveScheduler{bad}, testing::ExitedWithCode(1),
+                "policy");
+}
+
+} // namespace
+} // namespace asd

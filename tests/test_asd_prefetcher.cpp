@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Behavioral tests of the assembled ASD prefetcher: cold start, the
+ * paper's length-2 example (prefetch the 2nd line, never the 3rd),
+ * direction handling, overflow accounting, epoch protocol, the
+ * prefetch buffer hooks, adaptive policy movement, multi-line
+ * prefetching (inequality (6)), the long-stream saturation option,
+ * and per-thread isolation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/asd_prefetcher.hpp"
+
+namespace asd
+{
+namespace
+{
+
+AsdConfig
+testConfig(std::uint32_t epoch_reads = 40)
+{
+    AsdConfig config;
+    config.epoch_reads = epoch_reads;
+    config.filter_slots = 8;
+    config.lht_entries = 16;
+    config.lifetime_init = 500; // expires between training streams
+    config.lifetime_extend = 0;
+    return config;
+}
+
+/**
+ * Feed @p count streams of @p len lines (upward), far apart. Streams
+ * are spaced 1000 cycles apart with a tick in between so each expires
+ * from the 8-slot filter before the next begins.
+ */
+void
+trainStreams(AsdPrefetcher &pf, std::uint32_t count, std::uint32_t len,
+             LineAddr base = 1'000'000)
+{
+    for (std::uint32_t s = 0; s < count; ++s) {
+        const Cycle now = s * 1000;
+        pf.tick(now);
+        for (std::uint32_t i = 0; i < len; ++i)
+            pf.observeRead(base + s * 10'000 + i, 0, now);
+    }
+}
+
+TEST(Asd, ColdStartNeverPrefetches)
+{
+    AsdPrefetcher pf(testConfig());
+    // First epoch: LHTcurr is empty, so no decisions fire.
+    for (LineAddr line = 0; line < 30; ++line)
+        EXPECT_TRUE(pf.observeRead(line * 1000, 0, 0).empty());
+}
+
+TEST(Asd, Length2WorkloadPrefetchesSecondLineOnly)
+{
+    AsdPrefetcher pf(testConfig());
+    trainStreams(pf, 20, 2); // exactly one epoch of length-2 streams
+    ASSERT_EQ(pf.epochsCompleted(), 1u);
+
+    // New stream: the first element predicts a second line...
+    const auto first = pf.observeRead(500, 0, 0);
+    ASSERT_EQ(first.size(), 1u);
+    EXPECT_EQ(first[0], 501u);
+    // ...but the second element must NOT prefetch a third (the
+    // paper's section 1 example: 50% of next-line prefetches would
+    // be useless here, ASD's are not).
+    EXPECT_TRUE(pf.observeRead(501, 0, 0).empty());
+}
+
+TEST(Asd, Length3WorkloadPrefetchesTwoElements)
+{
+    AsdPrefetcher pf(testConfig(60));
+    trainStreams(pf, 20, 3);
+    ASSERT_EQ(pf.epochsCompleted(), 1u);
+    EXPECT_EQ(pf.observeRead(500, 0, 0).size(), 1u);   // k=1
+    EXPECT_EQ(pf.observeRead(501, 0, 0).size(), 1u);   // k=2
+    EXPECT_TRUE(pf.observeRead(502, 0, 0).empty());    // k=3: stop
+}
+
+TEST(Asd, NegativeStreamsPrefetchDownward)
+{
+    AsdPrefetcher pf(testConfig(60));
+    // Train 20 negative streams of length 3.
+    for (std::uint32_t s = 0; s < 20; ++s) {
+        const LineAddr base = 1'000'000 + s * 10'000;
+        const Cycle now = s * 1000;
+        pf.tick(now);
+        pf.observeRead(base, 0, now);
+        pf.observeRead(base - 1, 0, now);
+        pf.observeRead(base - 2, 0, now);
+    }
+    ASSERT_EQ(pf.epochsCompleted(), 1u);
+    pf.observeRead(700, 0, 0);
+    const auto at_flip = pf.observeRead(699, 0, 0); // k=2, negative
+    ASSERT_EQ(at_flip.size(), 1u);
+    EXPECT_EQ(at_flip[0], 698u);
+}
+
+TEST(Asd, DirectionTablesAreIndependent)
+{
+    AsdPrefetcher pf(testConfig(60));
+    trainStreams(pf, 20, 3); // positive-only training
+    ASSERT_EQ(pf.epochsCompleted(), 1u);
+    // A negative stream consults the (empty) negative table.
+    pf.observeRead(700, 0, 0);
+    EXPECT_TRUE(pf.observeRead(699, 0, 0).empty());
+}
+
+TEST(Asd, OverflowCountsLengthOneStream)
+{
+    AsdConfig config = testConfig();
+    config.filter_slots = 2;
+    AsdPrefetcher pf(config);
+    pf.observeRead(1'000'000, 0, 0);
+    pf.observeRead(2'000'000, 0, 0);
+    EXPECT_EQ(pf.streamLengthHist().total(), 0u);
+    pf.observeRead(3'000'000, 0, 0); // overflow
+    EXPECT_EQ(pf.streamLengthHist().count(1), 1u);
+}
+
+TEST(Asd, EpochFlushRecordsLiveStreams)
+{
+    AsdPrefetcher pf(testConfig(4));
+    pf.observeRead(100, 0, 0);
+    pf.observeRead(101, 0, 0);
+    pf.observeRead(102, 0, 0);
+    EXPECT_EQ(pf.epochsCompleted(), 0u);
+    pf.observeRead(103, 0, 0); // 4th read ends the epoch
+    EXPECT_EQ(pf.epochsCompleted(), 1u);
+    EXPECT_EQ(pf.streamLengthHist().count(4), 1u);
+    EXPECT_EQ(pf.lhtCurr(0, StreamDir::Positive).at(4), 1u);
+}
+
+TEST(Asd, LifetimeExpiryViaTick)
+{
+    AsdConfig config = testConfig();
+    config.lifetime_init = 100;
+    AsdPrefetcher pf(config);
+    pf.observeRead(42, 0, 0);
+    pf.tick(50);
+    EXPECT_EQ(pf.streamLengthHist().total(), 0u);
+    pf.tick(100);
+    EXPECT_EQ(pf.streamLengthHist().count(1), 1u);
+}
+
+TEST(Asd, BufferHooks)
+{
+    AsdPrefetcher pf(testConfig());
+    EXPECT_FALSE(pf.bufferContains(9));
+    pf.fillBuffer(9, 0);
+    EXPECT_TRUE(pf.bufferContains(9));
+    EXPECT_TRUE(pf.lookupBuffer(9));
+    EXPECT_FALSE(pf.bufferContains(9)); // consumed
+    pf.fillBuffer(11, 0);
+    pf.observeWrite(11, 0);
+    EXPECT_FALSE(pf.bufferContains(11)); // write invalidation
+}
+
+TEST(Asd, PolicyClimbsWithoutConflicts)
+{
+    AsdPrefetcher pf(testConfig(4));
+    EXPECT_EQ(pf.schedulingPolicy(), 3);
+    trainStreams(pf, 2, 4); // two quiet epochs
+    EXPECT_EQ(pf.schedulingPolicy(), 5);
+}
+
+TEST(Asd, PolicyDropsUnderConflicts)
+{
+    AsdConfig config = testConfig(4);
+    config.sched.high_watermark = 2;
+    config.sched.low_watermark = 1;
+    AsdPrefetcher pf(config);
+    for (int i = 0; i < 5; ++i)
+        pf.notifyPrefetchConflict(0);
+    trainStreams(pf, 1, 4); // one epoch boundary
+    EXPECT_EQ(pf.schedulingPolicy(), 2);
+}
+
+TEST(Asd, MultiDegreeFollowsInequalitySix)
+{
+    AsdConfig config = testConfig(80);
+    config.max_degree = 4;
+    AsdPrefetcher pf(config);
+    trainStreams(pf, 20, 4);
+    ASSERT_EQ(pf.epochsCompleted(), 1u);
+    // k=1 of a fresh stream: lht(1)=lht(2)=lht(3)=lht(4), lht(5)=0,
+    // so degrees 1..3 pass and degree 4 fails.
+    const auto candidates = pf.observeRead(500, 0, 0);
+    ASSERT_EQ(candidates.size(), 3u);
+    EXPECT_EQ(candidates[0], 501u);
+    EXPECT_EQ(candidates[1], 502u);
+    EXPECT_EQ(candidates[2], 503u);
+}
+
+TEST(Asd, SaturationKeepsLongStreamsRunning)
+{
+    AsdConfig config = testConfig(200);
+    config.lht_entries = 4;
+    config.saturate_long_streams = true;
+    AsdPrefetcher pf(config);
+    trainStreams(pf, 25, 8);
+    ASSERT_GE(pf.epochsCompleted(), 1u);
+    // Walk one stream past the table end; prefetching continues.
+    const LineAddr base = 500;
+    std::size_t suggestions_past_lm = 0;
+    for (LineAddr i = 0; i < 7; ++i) {
+        const auto out = pf.observeRead(base + i, 0, 0);
+        if (i >= 3) // k >= Lm from here on
+            suggestions_past_lm += out.size();
+    }
+    EXPECT_GT(suggestions_past_lm, 0u);
+}
+
+TEST(Asd, NoSaturationStopsAtTableEnd)
+{
+    AsdConfig config = testConfig(200);
+    config.lht_entries = 4;
+    AsdPrefetcher pf(config);
+    trainStreams(pf, 25, 8);
+    ASSERT_GE(pf.epochsCompleted(), 1u);
+    const LineAddr base = 500;
+    for (LineAddr i = 0; i < 7; ++i) {
+        const auto out = pf.observeRead(base + i, 0, 0);
+        if (i >= 3) {
+            EXPECT_TRUE(out.empty()) << "element " << i + 1;
+        }
+    }
+}
+
+TEST(Asd, ThreadsAreIsolated)
+{
+    AsdConfig config = testConfig(40);
+    config.threads = 2;
+    AsdPrefetcher pf(config);
+    trainStreams(pf, 20, 2); // all on thread 0
+    ASSERT_EQ(pf.epochsCompleted(), 1u);
+    // Thread 0 predicts; thread 1 has no history.
+    EXPECT_EQ(pf.observeRead(500, 0, 0).size(), 1u);
+    EXPECT_TRUE(pf.observeRead(600, 1, 0).empty());
+}
+
+TEST(Asd, SlhHistoryRecordsEpochs)
+{
+    AsdPrefetcher pf(testConfig(4));
+    pf.enableSlhHistory(8);
+    trainStreams(pf, 3, 4);
+    ASSERT_EQ(pf.slhHistory().size(), 3u);
+    EXPECT_EQ(pf.slhHistory()[0].epoch, 1u);
+    EXPECT_EQ(pf.slhHistory()[0].positive[3], 1u); // one len-4 stream
+}
+
+TEST(Asd, SameLineReadMakesNoDecision)
+{
+    AsdPrefetcher pf(testConfig());
+    trainStreams(pf, 20, 2);
+    pf.observeRead(500, 0, 0);
+    EXPECT_TRUE(pf.observeRead(500, 0, 0).empty()); // repeat
+}
+
+TEST(Asd, RejectsBadConfig)
+{
+    AsdConfig config = testConfig();
+    config.threads = 0;
+    EXPECT_EXIT(AsdPrefetcher{config}, testing::ExitedWithCode(1),
+                "thread");
+}
+
+} // namespace
+} // namespace asd

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the processor-side ASD prefetcher (the paper's section 6
+ * future work): decision behavior mirrors the memory-side unit,
+ * access-count epochs, degree handling, and the Fig.-11-style
+ * contrast with the sequential Power5 prefetcher on short streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include "prefetch/asd_ps_prefetcher.hpp"
+#include "prefetch/ps_prefetcher.hpp"
+
+namespace asd
+{
+namespace
+{
+
+AsdPsConfig
+testConfig(std::uint32_t epoch = 60)
+{
+    AsdPsConfig config;
+    config.epoch_accesses = epoch;
+    config.lifetime_init = 8;
+    config.lifetime_extend = 8;
+    config.degree = 1;
+    return config;
+}
+
+/** Feed @p count upward streams of @p len lines, far apart. */
+void
+train(AsdPsPrefetcher &pf, std::uint32_t count, std::uint32_t len)
+{
+    for (std::uint32_t s = 0; s < count; ++s) {
+        const LineAddr base = 1'000'000 + s * 10'000;
+        for (std::uint32_t i = 0; i < len; ++i)
+            pf.observe(base + i, true);
+        // Idle accesses age out the stream between bursts.
+        for (int idle = 0; idle < 10; ++idle)
+            pf.observe(77, false);
+    }
+}
+
+TEST(AsdPs, ColdStartSilent)
+{
+    AsdPsPrefetcher pf(testConfig());
+    for (LineAddr line = 0; line < 20; ++line)
+        EXPECT_TRUE(pf.observe(line * 500, true).empty());
+}
+
+TEST(AsdPs, LearnsLengthTwoStreams)
+{
+    AsdPsPrefetcher pf(testConfig(66));
+    train(pf, 6, 2); // 6 x (2 + 10 idle) = 72 accesses -> 1+ epoch
+    ASSERT_GE(pf.epochsCompleted(), 1u);
+    const auto first = pf.observe(500, true);
+    ASSERT_EQ(first.size(), 1u);
+    EXPECT_EQ(first[0].line, 501u);
+    EXPECT_TRUE(first[0].to_l1);
+    EXPECT_TRUE(pf.observe(501, true).empty()); // 2nd element: stop
+}
+
+TEST(AsdPs, DegreeTwoTargetsL2)
+{
+    AsdPsConfig config = testConfig(80);
+    config.degree = 2;
+    AsdPsPrefetcher pf(config);
+    train(pf, 6, 4); // length-4 streams: k=1 passes degree 1 and 2
+    ASSERT_GE(pf.epochsCompleted(), 1u);
+    const auto reqs = pf.observe(500, true);
+    ASSERT_EQ(reqs.size(), 2u);
+    EXPECT_TRUE(reqs[0].to_l1);
+    EXPECT_EQ(reqs[1].line, 502u);
+    EXPECT_FALSE(reqs[1].to_l1);
+}
+
+TEST(AsdPs, ObservesHitsAndMissesAlike)
+{
+    // Unlike the Power5 unit, ASD learns from the whole access
+    // stream; hits extend streams too.
+    AsdPsPrefetcher pf(testConfig(66));
+    train(pf, 6, 2);
+    pf.observe(900, false);
+    const auto reqs = pf.observe(901, false);
+    // Extension on hits: stream length 2 reached; no prefetch for
+    // length-2-trained workload, but the stream was tracked (no
+    // allocation failure) — verify by walking one more line.
+    EXPECT_TRUE(reqs.empty());
+}
+
+TEST(AsdPs, ShortStreamAdvantageOverSequentialPs)
+{
+    // On an all-length-2 workload, the sequential prefetcher issues
+    // one useless prefetch per stream (the 3rd line); ASD-PS issues
+    // none.
+    AsdPsPrefetcher asd_ps(testConfig(66));
+    PsPrefetcher p5({});
+    train(asd_ps, 6, 2);
+
+    std::uint64_t asd_wasted = 0;
+    std::uint64_t p5_wasted = 0;
+    for (std::uint32_t s = 0; s < 20; ++s) {
+        const LineAddr base = 5'000'000 + s * 1'000;
+        for (LineAddr i = 0; i < 2; ++i) {
+            for (const auto &req : asd_ps.observe(base + i, true))
+                asd_wasted += req.line > base + 1; // beyond the stream
+            for (const auto &req : p5.observe(base + i, true))
+                p5_wasted += req.line > base + 1;
+        }
+    }
+    EXPECT_EQ(asd_wasted, 0u);
+    EXPECT_GT(p5_wasted, 10u);
+}
+
+TEST(AsdPs, EpochsCountAccesses)
+{
+    AsdPsPrefetcher pf(testConfig(10));
+    for (int i = 0; i < 25; ++i)
+        pf.observe(static_cast<LineAddr>(i) * 100, true);
+    EXPECT_EQ(pf.epochsCompleted(), 2u);
+}
+
+TEST(AsdPs, RejectsBadDegree)
+{
+    AsdPsConfig config = testConfig();
+    config.degree = 3;
+    EXPECT_EXIT(AsdPsPrefetcher{config}, testing::ExitedWithCode(1),
+                "degree");
+}
+
+} // namespace
+} // namespace asd

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Tests for the cache substrate: set-associative tag store (LRU,
+ * dirty bits, prefetch flags, non-power-of-two sets), the MSHR file,
+ * and the victim-L3 three-level hierarchy (inclusion of L1 in L2,
+ * victim promotion, writeback generation).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hpp"
+#include "cache/hierarchy.hpp"
+#include "cache/mshr.hpp"
+
+namespace asd
+{
+namespace
+{
+
+CacheConfig
+tinyCache(std::uint32_t ways = 2, std::uint64_t sets = 2)
+{
+    CacheConfig config;
+    config.ways = ways;
+    config.line_bytes = 128;
+    config.size_bytes = sets * ways * config.line_bytes;
+    return config;
+}
+
+TEST(Cache, MissThenHit)
+{
+    SetAssocCache cache(tinyCache());
+    EXPECT_FALSE(cache.access(1, false));
+    cache.insert(1, false);
+    EXPECT_TRUE(cache.access(1, false));
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(Cache, LruEviction)
+{
+    SetAssocCache cache(tinyCache(2, 2));
+    // Same set: lines 0, 2, 4 (set = line % 2 == 0).
+    cache.insert(0, false);
+    cache.insert(2, false);
+    cache.access(0, false); // 0 becomes MRU; 2 is LRU
+    const auto victim = cache.insert(4, false);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(victim->line, 2u);
+    EXPECT_TRUE(cache.probe(0));
+    EXPECT_FALSE(cache.probe(2));
+}
+
+TEST(Cache, DirtyBitTracksStores)
+{
+    SetAssocCache cache(tinyCache());
+    cache.insert(3, false);
+    cache.access(3, true);
+    const auto victim = cache.invalidate(3);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_TRUE(victim->dirty);
+}
+
+TEST(Cache, InsertMergesDirtyOnReinsertion)
+{
+    SetAssocCache cache(tinyCache());
+    cache.insert(3, true);
+    cache.insert(3, false); // refresh, must keep dirty
+    const auto victim = cache.invalidate(3);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_TRUE(victim->dirty);
+}
+
+TEST(Cache, PrefetchFlagClearsOnUse)
+{
+    SetAssocCache cache(tinyCache());
+    cache.insert(5, false, true);
+    EXPECT_TRUE(cache.access(5, false));
+    EXPECT_EQ(cache.prefetchHits(), 1u);
+    const auto victim = cache.invalidate(5);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_FALSE(victim->was_prefetch); // used, flag cleared
+}
+
+TEST(Cache, UnusedPrefetchReportedOnEviction)
+{
+    SetAssocCache cache(tinyCache());
+    cache.insert(5, false, true);
+    const auto victim = cache.invalidate(5);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_TRUE(victim->was_prefetch);
+}
+
+TEST(Cache, ProbeHasNoSideEffects)
+{
+    SetAssocCache cache(tinyCache());
+    cache.insert(1, false);
+    cache.probe(1);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(Cache, NonPowerOfTwoSets)
+{
+    // 3 sets x 2 ways (Power5 L2 geometry is 1536 sets).
+    SetAssocCache cache(tinyCache(2, 3));
+    for (LineAddr line = 0; line < 6; ++line)
+        cache.insert(line, false);
+    for (LineAddr line = 0; line < 6; ++line)
+        EXPECT_TRUE(cache.probe(line)) << line;
+}
+
+TEST(Cache, InvalidateMissReturnsNothing)
+{
+    SetAssocCache cache(tinyCache());
+    EXPECT_FALSE(cache.invalidate(9).has_value());
+}
+
+TEST(Mshr, MergeAndRelease)
+{
+    MshrFile mshr(2);
+    EXPECT_FALSE(mshr.allocate(10)); // new entry
+    EXPECT_TRUE(mshr.allocate(10));  // merged
+    EXPECT_TRUE(mshr.has(10));
+    EXPECT_EQ(mshr.inUse(), 1u);
+    EXPECT_EQ(mshr.release(10), 2u);
+    EXPECT_EQ(mshr.inUse(), 0u);
+    EXPECT_EQ(mshr.release(10), 0u);
+}
+
+TEST(Mshr, CapacityIsEntries)
+{
+    MshrFile mshr(2);
+    mshr.allocate(1);
+    mshr.allocate(2);
+    EXPECT_TRUE(mshr.full());
+    mshr.allocate(1); // merge still fine when full
+    EXPECT_EQ(mshr.inUse(), 2u);
+}
+
+// ---- hierarchy ----
+
+HierarchyConfig
+tinyHierarchy()
+{
+    HierarchyConfig config;
+    config.l1 = {2 * 128, 2, 128};  // 1 set x 2 ways
+    config.l2 = {8 * 128, 2, 128};  // 4 sets x 2 ways
+    config.l3 = {16 * 128, 2, 128}; // 8 sets x 2 ways
+    return config;
+}
+
+TEST(Hierarchy, MissGoesToMemoryWithoutAllocating)
+{
+    CacheHierarchy hierarchy(tinyHierarchy());
+    const AccessResult result = hierarchy.access(100, false);
+    EXPECT_TRUE(result.needs_memory);
+    EXPECT_EQ(result.level, HitLevel::Memory);
+    EXPECT_FALSE(hierarchy.probe(HitLevel::L2, 100));
+}
+
+TEST(Hierarchy, FillInstallsInL1AndL2NotL3)
+{
+    CacheHierarchy hierarchy(tinyHierarchy());
+    hierarchy.fill(100, false);
+    EXPECT_TRUE(hierarchy.probe(HitLevel::L1, 100));
+    EXPECT_TRUE(hierarchy.probe(HitLevel::L2, 100));
+    EXPECT_FALSE(hierarchy.probe(HitLevel::L3, 100)); // victim cache
+}
+
+TEST(Hierarchy, HitLatenciesOrdered)
+{
+    CacheHierarchy hierarchy(tinyHierarchy());
+    hierarchy.fill(100, false);
+    const AccessResult l1 = hierarchy.access(100, false);
+    EXPECT_EQ(l1.level, HitLevel::L1);
+    // Push 100 out of L1 only (L1 has 1 set x 2 ways).
+    hierarchy.fill(101, false);
+    hierarchy.fill(102, false);
+    const AccessResult l2 = hierarchy.access(100, false);
+    EXPECT_EQ(l2.level, HitLevel::L2);
+    EXPECT_GT(l2.latency, l1.latency);
+}
+
+TEST(Hierarchy, L2VictimFallsIntoL3AndPromotesBack)
+{
+    CacheHierarchy hierarchy(tinyHierarchy());
+    // L2 set of line 0 holds lines {0, 4}; filling 8 evicts one.
+    hierarchy.fill(0, false);
+    hierarchy.fill(4, false);
+    hierarchy.fill(8, false);
+    // The victim (line 0, LRU) must now be in L3 only.
+    EXPECT_FALSE(hierarchy.probe(HitLevel::L2, 0));
+    EXPECT_TRUE(hierarchy.probe(HitLevel::L3, 0));
+    // Accessing it promotes it back to L2 and removes the L3 copy.
+    const AccessResult result = hierarchy.access(0, false);
+    EXPECT_EQ(result.level, HitLevel::L3);
+    EXPECT_TRUE(hierarchy.probe(HitLevel::L2, 0));
+    EXPECT_FALSE(hierarchy.probe(HitLevel::L3, 0));
+}
+
+TEST(Hierarchy, DirtyDataSurvivesVictimRoundTrip)
+{
+    CacheHierarchy hierarchy(tinyHierarchy());
+    hierarchy.fill(0, true); // dirty (RFO fill)
+    hierarchy.fill(4, false);
+    hierarchy.fill(8, false); // evicts dirty 0 into L3
+    EXPECT_TRUE(hierarchy.probe(HitLevel::L3, 0));
+    hierarchy.access(0, false); // promote back (still dirty)
+    // Evict it again; it must stay dirty through both trips.
+    hierarchy.fill(4, false);
+    hierarchy.fill(8, false);
+    // Now force the L3 copy out: its L3 set cycles with +16 strides.
+    hierarchy.fill(16, false);
+    hierarchy.fill(20, false);
+    hierarchy.fill(24, false);
+    // (exact eviction pattern varies; just drain and look for line 0)
+    bool wrote_zero = false;
+    for (const LineAddr line : hierarchy.drainWritebacks())
+        wrote_zero = wrote_zero || line == 0;
+    // Either still cached somewhere, or it was written back dirty.
+    const bool still_cached = hierarchy.probe(HitLevel::L2, 0) ||
+                              hierarchy.probe(HitLevel::L3, 0);
+    EXPECT_TRUE(wrote_zero || still_cached);
+}
+
+TEST(Hierarchy, StoreHitMarksL2Dirty)
+{
+    CacheHierarchy hierarchy(tinyHierarchy());
+    hierarchy.fill(0, false);
+    const AccessResult result = hierarchy.access(0, true);
+    EXPECT_EQ(result.level, HitLevel::L2);
+    // Evict through L2 and L3; the dirty line must eventually be
+    // written back.
+    hierarchy.fill(4, false);
+    hierarchy.fill(8, false);
+    for (LineAddr line = 16; line <= 128; line += 4)
+        hierarchy.fill(line, false);
+    bool wrote_zero = false;
+    for (const LineAddr line : hierarchy.drainWritebacks())
+        wrote_zero = wrote_zero || line == 0;
+    EXPECT_TRUE(wrote_zero ||
+                hierarchy.probe(HitLevel::L2, 0) ||
+                hierarchy.probe(HitLevel::L3, 0));
+}
+
+TEST(Hierarchy, StoreMissNeedsMemory)
+{
+    CacheHierarchy hierarchy(tinyHierarchy());
+    const AccessResult result = hierarchy.access(0, true);
+    EXPECT_TRUE(result.needs_memory);
+}
+
+TEST(Hierarchy, L1StaysSubsetOfL2)
+{
+    CacheHierarchy hierarchy(tinyHierarchy());
+    hierarchy.fill(0, false);
+    hierarchy.fill(4, false);
+    hierarchy.fill(8, false); // evicts 0 from L2
+    EXPECT_FALSE(hierarchy.probe(HitLevel::L1, 0));
+}
+
+TEST(Hierarchy, PrefetchFillLevels)
+{
+    CacheHierarchy hierarchy(tinyHierarchy());
+    hierarchy.fillPrefetchL1(0);
+    EXPECT_TRUE(hierarchy.probe(HitLevel::L1, 0));
+    EXPECT_TRUE(hierarchy.probe(HitLevel::L2, 0));
+    hierarchy.fillPrefetchL2(4);
+    EXPECT_FALSE(hierarchy.probe(HitLevel::L1, 4));
+    EXPECT_TRUE(hierarchy.probe(HitLevel::L2, 4));
+}
+
+TEST(Hierarchy, PrefetchedLineCountsAsPrefetchHitOnUse)
+{
+    CacheHierarchy hierarchy(tinyHierarchy());
+    hierarchy.fillPrefetchL1(0);
+    hierarchy.access(0, false);
+    EXPECT_EQ(hierarchy.l1().prefetchHits(), 1u);
+}
+
+TEST(Hierarchy, CleanEvictionsProduceNoWritebacks)
+{
+    CacheHierarchy hierarchy(tinyHierarchy());
+    for (LineAddr line = 0; line < 64; line += 4)
+        hierarchy.fill(line, false);
+    EXPECT_TRUE(hierarchy.drainWritebacks().empty());
+}
+
+} // namespace
+} // namespace asd

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Tests for the trace-driven CPU model: compute burn, MLP limiting,
+ * dependent-load serialization, store RFOs, memory-controller
+ * rejection retries, and completion plumbing — against a scriptable
+ * fake memory port.
+ */
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cpu/trace_cpu.hpp"
+#include "prefetch/ps_prefetcher.hpp"
+
+namespace asd
+{
+namespace
+{
+
+/** Records demand reads; completion is driven manually by tests. */
+class FakePort : public MemPort
+{
+  public:
+    bool
+    demandRead(LineAddr line, std::uint32_t, bool is_rfo) override
+    {
+        if (reject_all)
+            return false;
+        requests.push_back({line, is_rfo});
+        return true;
+    }
+
+    void
+    psPrefetch(LineAddr line, std::uint32_t, bool to_l1) override
+    {
+        ps_requests.push_back({line, to_l1});
+    }
+
+    struct Request
+    {
+        LineAddr line;
+        bool is_rfo;
+    };
+    std::vector<Request> requests;
+    std::vector<std::pair<LineAddr, bool>> ps_requests;
+    bool reject_all = false;
+};
+
+HierarchyConfig
+smallHierarchy()
+{
+    HierarchyConfig config;
+    config.l1 = {4 * 128, 2, 128};
+    config.l2 = {16 * 128, 2, 128};
+    config.l3 = {32 * 128, 2, 128};
+    return config;
+}
+
+MemAccess
+read(Addr addr, std::uint32_t gap = 0, bool dependent = false)
+{
+    MemAccess access;
+    access.addr = addr;
+    access.gap = gap;
+    access.dependent = dependent;
+    return access;
+}
+
+MemAccess
+write(Addr addr, std::uint32_t gap = 0)
+{
+    MemAccess access;
+    access.addr = addr;
+    access.gap = gap;
+    access.op = MemOp::Write;
+    return access;
+}
+
+struct Fixture
+{
+    explicit Fixture(std::vector<MemAccess> accesses,
+                     CpuConfig config = CpuConfig{})
+        : trace(std::move(accesses)),
+          hierarchy(smallHierarchy()),
+          cpu(config, trace, hierarchy, nullptr, port, 0)
+    {}
+
+    Cycle
+    runUntilFinished(Cycle limit = 100000)
+    {
+        Cycle now = 0;
+        while (!cpu.finished() && now < limit) {
+            cpu.tick(now);
+            ++now;
+        }
+        return now;
+    }
+
+    VectorTraceSource trace;
+    FakePort port;
+    CacheHierarchy hierarchy;
+    TraceCpu cpu;
+};
+
+TEST(Cpu, MissGoesToPortAndCompletes)
+{
+    Fixture f({read(0)});
+    f.cpu.tick(0);
+    ASSERT_EQ(f.port.requests.size(), 1u);
+    EXPECT_EQ(f.port.requests[0].line, 0u);
+    EXPECT_FALSE(f.port.requests[0].is_rfo);
+    EXPECT_FALSE(f.cpu.finished());
+    f.cpu.loadDone(0, 10);
+    f.cpu.tick(11);
+    EXPECT_TRUE(f.cpu.finished());
+    EXPECT_TRUE(f.hierarchy.probe(HitLevel::L1, 0)); // fill happened
+}
+
+TEST(Cpu, GapInstructionsBurnAtIpc)
+{
+    // One access with a 40-instruction gap at IPC 2 costs ~20 cycles
+    // of compute around the (L1-resident) access.
+    std::vector<MemAccess> accesses = {read(0, 40)};
+    CpuConfig config;
+    config.ipc = 2;
+    Fixture f(accesses, config);
+    f.hierarchy.fill(0, false);
+    const Cycle cycles = f.runUntilFinished();
+    EXPECT_GE(cycles, 20u);
+    EXPECT_LE(cycles, 30u);
+}
+
+TEST(Cpu, MlpLimitsOutstandingLoads)
+{
+    CpuConfig config;
+    config.mlp = 2;
+    std::vector<MemAccess> accesses;
+    for (Addr line = 0; line < 4; ++line)
+        accesses.push_back(read(line * 128));
+    Fixture f(accesses, config);
+    for (Cycle now = 0; now < 20; ++now)
+        f.cpu.tick(now);
+    EXPECT_EQ(f.port.requests.size(), 2u); // capped at MLP
+    f.cpu.loadDone(0, 20);
+    for (Cycle now = 20; now < 40; ++now)
+        f.cpu.tick(now);
+    EXPECT_EQ(f.port.requests.size(), 3u);
+}
+
+TEST(Cpu, MergesDuplicateLineMisses)
+{
+    std::vector<MemAccess> accesses = {read(0), read(64)}; // same line
+    Fixture f(accesses);
+    for (Cycle now = 0; now < 10; ++now)
+        f.cpu.tick(now);
+    EXPECT_EQ(f.port.requests.size(), 1u);
+    f.cpu.loadDone(0, 10);
+    f.cpu.tick(11);
+    EXPECT_TRUE(f.cpu.finished());
+}
+
+TEST(Cpu, DependentLoadWaitsForOutstanding)
+{
+    std::vector<MemAccess> accesses = {read(0),
+                                       read(1000 * 128, 0, true)};
+    Fixture f(accesses);
+    for (Cycle now = 0; now < 50; ++now)
+        f.cpu.tick(now);
+    // The dependent load must not issue while the first is in flight.
+    EXPECT_EQ(f.port.requests.size(), 1u);
+    f.cpu.loadDone(0, 50);
+    for (Cycle now = 50; now < 60; ++now)
+        f.cpu.tick(now);
+    EXPECT_EQ(f.port.requests.size(), 2u);
+}
+
+TEST(Cpu, StoreMissRaisesRfo)
+{
+    Fixture f({write(0)});
+    f.cpu.tick(0);
+    ASSERT_EQ(f.port.requests.size(), 1u);
+    EXPECT_TRUE(f.port.requests[0].is_rfo);
+    // The store retires into the store buffer; trace is done but the
+    // RFO is still outstanding.
+    f.cpu.tick(1);
+    EXPECT_FALSE(f.cpu.finished());
+    f.cpu.storeDone(0, 5);
+    f.cpu.tick(6);
+    EXPECT_TRUE(f.cpu.finished());
+    // RFO fill installs the line dirty: evicting it writes back.
+    EXPECT_TRUE(f.hierarchy.probe(HitLevel::L2, 0));
+}
+
+TEST(Cpu, StoreBufferCapacityStalls)
+{
+    CpuConfig config;
+    config.store_buffer = 2;
+    std::vector<MemAccess> accesses;
+    for (Addr line = 0; line < 4; ++line)
+        accesses.push_back(write(line * 128));
+    Fixture f(accesses, config);
+    for (Cycle now = 0; now < 20; ++now)
+        f.cpu.tick(now);
+    EXPECT_EQ(f.port.requests.size(), 2u);
+    f.cpu.storeDone(0, 20);
+    for (Cycle now = 20; now < 40; ++now)
+        f.cpu.tick(now);
+    EXPECT_EQ(f.port.requests.size(), 3u);
+}
+
+TEST(Cpu, RejectedReadsRetryWithoutBlockingProgress)
+{
+    std::vector<MemAccess> accesses = {read(0), read(10 * 128)};
+    Fixture f(accesses);
+    f.port.reject_all = true;
+    f.cpu.tick(0); // first miss rejected -> parked in retry queue
+    f.cpu.tick(1); // second access can still issue (also rejected)
+    f.cpu.tick(2);
+    EXPECT_TRUE(f.port.requests.empty());
+    f.port.reject_all = false;
+    for (Cycle now = 3; now < 10; ++now)
+        f.cpu.tick(now);
+    EXPECT_EQ(f.port.requests.size(), 2u);
+}
+
+TEST(Cpu, CacheHitsDoNotTouchThePort)
+{
+    std::vector<MemAccess> accesses = {read(0), read(0), read(0)};
+    Fixture f(accesses);
+    f.hierarchy.fill(0, false);
+    f.runUntilFinished();
+    EXPECT_TRUE(f.port.requests.empty());
+}
+
+TEST(Cpu, FinishedOnlyWhenAllDrained)
+{
+    Fixture f({read(0)});
+    EXPECT_FALSE(f.cpu.finished()); // trace not yet consumed
+    f.cpu.tick(0);
+    EXPECT_FALSE(f.cpu.finished()); // miss outstanding
+    f.cpu.loadDone(0, 1);
+    f.cpu.tick(2);
+    EXPECT_TRUE(f.cpu.finished());
+}
+
+TEST(Cpu, NextEventHintsAreSane)
+{
+    std::vector<MemAccess> accesses = {read(0, 100)};
+    Fixture f(accesses);
+    f.cpu.tick(0); // starts burning the gap
+    const Cycles hint = f.cpu.nextEventIn(0);
+    EXPECT_GT(hint, 1u);
+    EXPECT_LE(hint, 50u); // 100 instructions at IPC 2
+}
+
+TEST(Cpu, ElapsedTimeBurnsProportionally)
+{
+    std::vector<MemAccess> accesses = {read(0, 1000)};
+    Fixture f(accesses);
+    f.hierarchy.fill(0, false);
+    f.cpu.tick(0);
+    // Simulate a fast-forward of 500 cycles: the whole 1000-instr gap
+    // (IPC 2) is burned and the access issues on this tick.
+    f.cpu.tick(501);
+    f.cpu.tick(502);
+    f.cpu.tick(503);
+    EXPECT_TRUE(f.cpu.finished());
+}
+
+TEST(Cpu, PsObservationHappensAfterDemandIssue)
+{
+    // With a PS prefetcher attached, the prefetch request for a
+    // missed line must reach the port after the demand read itself.
+    PsPrefetcher ps({});
+    VectorTraceSource trace({read(0), read(128)});
+    CacheHierarchy hierarchy(smallHierarchy());
+    FakePort port;
+    TraceCpu cpu(CpuConfig{}, trace, hierarchy, &ps, port, 0);
+    for (Cycle now = 0; now < 10; ++now)
+        cpu.tick(now);
+    // Two consecutive misses confirm a stream; the PS request for
+    // line 2 must appear only after both demand reads.
+    ASSERT_EQ(port.requests.size(), 2u);
+    ASSERT_EQ(port.ps_requests.size(), 1u);
+    EXPECT_EQ(port.ps_requests[0].first, 2u);
+}
+
+} // namespace
+} // namespace asd

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Tests for the DDR2 model: address decode, bank timing, row-buffer
+ * behavior, data-bus serialization, refresh accounting and the power
+ * model.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "dram/dram.hpp"
+#include "dram/power.hpp"
+
+namespace asd
+{
+namespace
+{
+
+DramConfig
+quietConfig()
+{
+    DramConfig config;
+    config.refresh_enabled = false;
+    return config;
+}
+
+TEST(DramDecode, CoversAllBanks)
+{
+    Dram dram(quietConfig());
+    std::set<std::uint32_t> banks;
+    for (LineAddr line = 0; line < 64ULL * 16 * 4; line += 64)
+        banks.insert(dram.decode(line).bank);
+    EXPECT_EQ(banks.size(), dram.config().totalBanks());
+}
+
+TEST(DramDecode, ConsecutiveLinesShareARow)
+{
+    Dram dram(quietConfig());
+    const DramCoord a = dram.decode(0);
+    const DramCoord b = dram.decode(1);
+    EXPECT_EQ(a.row, b.row);
+    EXPECT_EQ(a.bank, b.bank);
+    EXPECT_EQ(a.col + 1, b.col);
+}
+
+/** Property: decode is injective over a large address window. */
+TEST(DramDecode, InjectiveProperty)
+{
+    Dram dram(quietConfig());
+    std::set<std::tuple<std::uint32_t, std::uint64_t, std::uint32_t>>
+        seen;
+    Rng rng(5);
+    for (int i = 0; i < 20000; ++i) {
+        const LineAddr line = rng.nextBelow(1ULL << 30);
+        const DramCoord coord = dram.decode(line);
+        EXPECT_LT(coord.rank, dram.config().ranks);
+        EXPECT_LT(coord.bank, dram.config().totalBanks());
+        EXPECT_LT(coord.col, dram.config().linesPerRow());
+        seen.insert({coord.bank, coord.row, coord.col});
+    }
+    // Random 30-bit lines rarely collide; injectivity implies nearly
+    // as many coordinates as draws.
+    EXPECT_GT(seen.size(), 19900u);
+}
+
+TEST(DramDecode, LineInterleavedStripesBanks)
+{
+    DramConfig config;
+    config.refresh_enabled = false;
+    config.addr_map = AddrMap::LineInterleaved;
+    Dram dram(config);
+    for (LineAddr line = 0; line + 1 < dram.config().totalBanks();
+         ++line) {
+        EXPECT_NE(dram.decode(line).bank, dram.decode(line + 1).bank);
+    }
+}
+
+TEST(DramDecode, XorPageStillCoversAllBanks)
+{
+    DramConfig config;
+    config.refresh_enabled = false;
+    config.addr_map = AddrMap::XorPage;
+    Dram dram(config);
+    std::set<std::uint32_t> banks;
+    for (LineAddr line = 0; line < 64ULL * 16 * 32; line += 64)
+        banks.insert(dram.decode(line).bank);
+    EXPECT_EQ(banks.size(), dram.config().totalBanks());
+}
+
+TEST(DramDecode, RowOpenTracksIssuedRow)
+{
+    DramConfig config;
+    config.refresh_enabled = false;
+    Dram dram(config);
+    EXPECT_FALSE(dram.rowOpen(0));
+    dram.issue(0, false, false, 0);
+    EXPECT_TRUE(dram.rowOpen(1));  // same row
+    EXPECT_FALSE(dram.rowOpen(64)); // other bank, closed
+}
+
+TEST(DramTiming, RowHitFasterThanRowMiss)
+{
+    Dram dram(quietConfig());
+    const Cycle first = dram.issue(0, false, false, 0);
+    // Same row: hit.
+    const Cycle hit = dram.issue(1, false, false, first);
+    // Same bank, different row: miss with precharge.
+    const LineAddr other_row =
+        static_cast<LineAddr>(dram.config().linesPerRow()) *
+        dram.config().banks_per_rank * dram.config().ranks;
+    ASSERT_EQ(dram.decode(other_row).bank, dram.decode(0).bank);
+    ASSERT_NE(dram.decode(other_row).row, dram.decode(0).row);
+    const Cycle miss = dram.issue(other_row, false, false, hit);
+    EXPECT_LT(hit - first, miss - hit);
+    EXPECT_EQ(dram.rowHits(), 1u);
+    EXPECT_EQ(dram.rowMisses(), 2u);
+}
+
+TEST(DramTiming, BackToBackRowHitsPipeline)
+{
+    Dram dram(quietConfig());
+    dram.issue(0, false, false, 0);
+    Cycle prev = dram.issue(1, false, false, 0);
+    for (LineAddr line = 2; line < 8; ++line) {
+        const Cycle done = dram.issue(line, false, false, 0);
+        // Data-bus limited: one burst apart.
+        EXPECT_EQ(done - prev,
+                  static_cast<Cycles>(dram.config().t_burst) *
+                      dram.config().cpu_per_dram_clk);
+        prev = done;
+    }
+}
+
+TEST(DramTiming, CompletionNeverBeforeMinimumLatency)
+{
+    Dram dram(quietConfig());
+    const DramConfig &config = dram.config();
+    const Cycle done = dram.issue(12345, false, false, 1000);
+    const Cycles minimum =
+        static_cast<Cycles>(config.t_rcd + config.t_cl +
+                            config.t_burst) *
+        config.cpu_per_dram_clk;
+    EXPECT_GE(done - 1000, minimum);
+}
+
+TEST(DramTiming, CanIssueReflectsBankBusy)
+{
+    Dram dram(quietConfig());
+    EXPECT_TRUE(dram.canIssue(0, 0));
+    dram.issue(0, false, false, 0);
+    EXPECT_FALSE(dram.canIssue(1, 0)); // same bank, still busy
+    EXPECT_TRUE(dram.canIssue(64, 0)); // different bank
+    EXPECT_TRUE(dram.canIssue(1, dram.bankReadyAt(1)));
+}
+
+TEST(DramTiming, WritesAddRecovery)
+{
+    Dram dram(quietConfig());
+    const Cycle write_done = dram.issue(0, true, false, 0);
+    EXPECT_GT(dram.bankReadyAt(0), write_done);
+    EXPECT_EQ(dram.writes(), 1u);
+}
+
+TEST(DramTiming, OccupantTracksPrefetchVsRegular)
+{
+    Dram dram(quietConfig());
+    dram.issue(0, false, true, 0);
+    EXPECT_EQ(dram.occupant(1, 0), BankOccupant::Prefetch);
+    EXPECT_EQ(dram.occupant(64, 0), BankOccupant::None);
+    const Cycle ready = dram.bankReadyAt(0);
+    dram.issue(0, false, false, ready);
+    EXPECT_EQ(dram.occupant(1, ready), BankOccupant::Regular);
+}
+
+TEST(DramTiming, BankConflictDetection)
+{
+    Dram dram(quietConfig());
+    const LineAddr same_bank_other_row =
+        static_cast<LineAddr>(dram.config().linesPerRow()) *
+        dram.config().banks_per_rank * dram.config().ranks;
+    EXPECT_TRUE(dram.bankConflict(0, same_bank_other_row));
+    EXPECT_FALSE(dram.bankConflict(0, 1));  // same row
+    EXPECT_FALSE(dram.bankConflict(0, 64)); // other bank
+}
+
+TEST(DramRefresh, ChargesRefreshesOverTime)
+{
+    DramConfig config;
+    config.refresh_enabled = true;
+    Dram dram(config);
+    const Cycles refi =
+        static_cast<Cycles>(config.t_refi) * config.cpu_per_dram_clk;
+    // Issue a command long after several refresh deadlines passed.
+    dram.issue(0, false, false, 10 * refi);
+    EXPECT_GE(dram.refreshes(), 10u);
+}
+
+TEST(DramRefresh, DisabledModelNeverRefreshes)
+{
+    Dram dram(quietConfig());
+    dram.issue(0, false, false, 100000000);
+    EXPECT_EQ(dram.refreshes(), 0u);
+}
+
+TEST(DramPower, EnergyScalesWithActivity)
+{
+    const DramConfig config = quietConfig();
+    Dram idle(config);
+    Dram busy(config);
+    Cycle now = 0;
+    for (int i = 0; i < 100; ++i)
+        now = busy.issue(static_cast<LineAddr>(i) * 64, i % 2 == 0,
+                         false, now);
+    const PowerModel model(config);
+    const PowerReport idle_report = model.report(idle, now);
+    const PowerReport busy_report = model.report(busy, now);
+    EXPECT_GT(busy_report.totalPj(), idle_report.totalPj());
+    EXPECT_DOUBLE_EQ(idle_report.activate_pj, 0.0);
+    EXPECT_GT(busy_report.read_pj, 0.0);
+    EXPECT_GT(busy_report.write_pj, 0.0);
+}
+
+TEST(DramPower, AveragePowerConsistentWithEnergy)
+{
+    const DramConfig config = quietConfig();
+    Dram dram(config);
+    const Cycle elapsed = 1000000;
+    const PowerModel model(config);
+    const PowerReport report = model.report(dram, elapsed);
+    const double seconds = static_cast<double>(elapsed) / 2.132e9;
+    EXPECT_NEAR(report.averageWatts(elapsed, 2.132e9),
+                report.totalPj() * 1e-12 / seconds, 1e-9);
+}
+
+TEST(DramPower, ZeroElapsedIsZeroWatts)
+{
+    const DramConfig config = quietConfig();
+    Dram dram(config);
+    const PowerModel model(config);
+    EXPECT_DOUBLE_EQ(model.report(dram, 0).averageWatts(0, 2.132e9),
+                     0.0);
+}
+
+TEST(DramStats, CountsMatchIssuedCommands)
+{
+    Dram dram(quietConfig());
+    Cycle now = 0;
+    for (int i = 0; i < 10; ++i)
+        now = dram.issue(static_cast<LineAddr>(i), false, false, now);
+    for (int i = 0; i < 5; ++i)
+        now = dram.issue(static_cast<LineAddr>(i) + 1000, true, false,
+                         now);
+    EXPECT_EQ(dram.reads(), 10u);
+    EXPECT_EQ(dram.writes(), 5u);
+    EXPECT_EQ(dram.rowHits() + dram.rowMisses(), 15u);
+}
+
+} // namespace
+} // namespace asd

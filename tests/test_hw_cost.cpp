@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tests for the section 5.1 hardware-cost model: the storage bill of
+ * the paper's configuration and its scaling behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/hw_cost.hpp"
+
+namespace asd
+{
+namespace
+{
+
+TEST(HwCost, PaperConfigurationIsSmall)
+{
+    const HwCost cost = computeHwCost(AsdConfig{});
+    // The whole prefetcher (dominated by the 2 KB buffer) stays well
+    // under 4 KiB of storage.
+    EXPECT_LT(cost.totalKiB(), 4.0);
+    // Per-thread control state is under 1 KiB (the paper's core
+    // argument against 64 KB spatial-locality tables).
+    EXPECT_LT(cost.perThreadBits(), 8u * 1024);
+}
+
+TEST(HwCost, BufferDominatesStorage)
+{
+    const HwCost cost = computeHwCost(AsdConfig{});
+    EXPECT_GT(cost.prefetch_buffer_bits,
+              cost.stream_filter_bits + cost.lht_bits + cost.lpq_bits);
+    // 16 lines x (1024 data bits + tag) > 16 Kib.
+    EXPECT_GT(cost.prefetch_buffer_bits, 16u * 1024);
+}
+
+TEST(HwCost, PerThreadStateScalesLinearly)
+{
+    AsdConfig one;
+    AsdConfig four;
+    four.threads = 4;
+    const HwCost c1 = computeHwCost(one);
+    const HwCost c4 = computeHwCost(four);
+    // Shared structures unchanged; per-thread state x4.
+    EXPECT_EQ(c4.prefetch_buffer_bits, c1.prefetch_buffer_bits);
+    EXPECT_EQ(c4.totalBits() - c4.prefetch_buffer_bits - c4.lpq_bits,
+              4 * (c1.totalBits() - c1.prefetch_buffer_bits -
+                   c1.lpq_bits));
+}
+
+TEST(HwCost, LhtCounterWidthFollowsEpoch)
+{
+    AsdConfig small;
+    small.epoch_reads = 256; // 8-bit counters
+    AsdConfig large;
+    large.epoch_reads = 65536; // 16-bit counters
+    EXPECT_EQ(computeHwCost(large).lht_bits,
+              2 * computeHwCost(small).lht_bits);
+}
+
+TEST(HwCost, ComparatorsPerDirection)
+{
+    const HwCost cost = computeHwCost(AsdConfig{});
+    // One comparator per adjacent pair, both directions: 2*(16-1).
+    EXPECT_EQ(cost.comparator_count, 30u);
+}
+
+TEST(HwCost, FilterBitsGrowWithSlots)
+{
+    AsdConfig wide;
+    wide.filter_slots = 16;
+    EXPECT_EQ(computeHwCost(wide).stream_filter_bits,
+              2 * computeHwCost(AsdConfig{}).stream_filter_bits);
+}
+
+} // namespace
+} // namespace asd

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the LHTcurr/LHTnext machinery (paper section 3.4):
+ * stream recording, mid-epoch depletion, zero clamping, the epoch
+ * swap protocol, and equivalence of the hardware comparator decision
+ * with the paper's inequality (5) evaluated on raw counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "core/likelihood_table.hpp"
+#include "core/slh_math.hpp"
+
+namespace asd
+{
+namespace
+{
+
+TEST(Lht, RecordStreamIncrementsPrefix)
+{
+    LikelihoodTable table(8);
+    table.recordStream(3);
+    EXPECT_EQ(table.at(1), 1u);
+    EXPECT_EQ(table.at(2), 1u);
+    EXPECT_EQ(table.at(3), 1u);
+    EXPECT_EQ(table.at(4), 0u);
+}
+
+TEST(Lht, LongStreamsSaturateAtTableSize)
+{
+    LikelihoodTable table(4);
+    table.recordStream(100);
+    EXPECT_EQ(table.at(4), 1u);
+    EXPECT_EQ(table.at(5), 0u); // beyond the table
+}
+
+TEST(Lht, RemoveStreamDecrementsWithClamp)
+{
+    LikelihoodTable table(8);
+    table.recordStream(2);
+    table.removeStream(5); // longer than anything recorded
+    EXPECT_EQ(table.at(1), 0u);
+    EXPECT_EQ(table.at(2), 0u);
+    EXPECT_EQ(table.at(3), 0u); // clamped, no underflow
+}
+
+TEST(Lht, CountsAreMonotoneNonIncreasing)
+{
+    LikelihoodTable table(16);
+    Rng rng(3);
+    for (int i = 0; i < 500; ++i)
+        table.recordStream(rng.nextInRange(1, 20));
+    for (std::size_t i = 1; i < 16; ++i)
+        EXPECT_GE(table.at(i), table.at(i + 1));
+}
+
+TEST(Lht, HardwareDecisionMatchesInequalityFive)
+{
+    LikelihoodTable table(16);
+    Rng rng(11);
+    for (int i = 0; i < 300; ++i)
+        table.recordStream(rng.nextInRange(1, 18));
+    for (std::size_t k = 1; k <= 16; ++k) {
+        EXPECT_EQ(table.shouldPrefetch(k),
+                  table.at(k) < 2 * table.at(k + 1))
+            << "k=" << k;
+        EXPECT_EQ(table.shouldPrefetch(k),
+                  shouldPrefetchNext(table.counts(), k));
+    }
+}
+
+TEST(Lht, PairStreamDiedUpdatesBothTables)
+{
+    LikelihoodTablePair pair(8);
+    // Seed curr via an epoch swap.
+    pair.epochEnd(std::vector<std::uint64_t>{3, 3});
+    EXPECT_EQ(pair.curr().at(2), 2u);
+    EXPECT_EQ(pair.next().at(1), 0u);
+
+    pair.streamDied(2);
+    EXPECT_EQ(pair.next().at(1), 1u); // accumulated for next epoch
+    EXPECT_EQ(pair.next().at(2), 1u);
+    EXPECT_EQ(pair.curr().at(1), 1u); // depleted from current
+    EXPECT_EQ(pair.curr().at(2), 1u);
+    EXPECT_EQ(pair.curr().at(3), 2u); // length-3 entries untouched
+}
+
+TEST(Lht, EpochEndFoldsLeftoversAndSwaps)
+{
+    LikelihoodTablePair pair(8);
+    pair.streamDied(4);
+    pair.streamDied(1);
+    pair.epochEnd(std::vector<std::uint64_t>{2});
+    // curr = {len4, len1, len2 leftover}.
+    EXPECT_EQ(pair.curr().at(1), 3u);
+    EXPECT_EQ(pair.curr().at(2), 2u);
+    EXPECT_EQ(pair.curr().at(4), 1u);
+    // next is cleared.
+    EXPECT_EQ(pair.next().at(1), 0u);
+}
+
+TEST(Lht, SteadyStateDepletionPreservesDecisions)
+{
+    // Identical epochs: halfway through an epoch the depleted curr
+    // table must make the same prefetch decisions as the fresh one.
+    LikelihoodTablePair pair(16);
+    auto feed_epoch_half = [&pair]() {
+        for (int i = 0; i < 50; ++i) {
+            pair.streamDied(1);
+            pair.streamDied(2);
+            pair.streamDied(2);
+            pair.streamDied(6);
+        }
+    };
+    feed_epoch_half();
+    feed_epoch_half();
+    pair.epochEnd(std::vector<std::uint64_t>{});
+    std::vector<bool> fresh;
+    for (std::size_t k = 1; k <= 8; ++k)
+        fresh.push_back(pair.curr().shouldPrefetch(k));
+    feed_epoch_half(); // deplete half of curr
+    for (std::size_t k = 1; k <= 8; ++k) {
+        EXPECT_EQ(pair.curr().shouldPrefetch(k), fresh[k - 1])
+            << "k=" << k;
+    }
+}
+
+TEST(Lht, ClearZeroes)
+{
+    LikelihoodTable table(4);
+    table.recordStream(4);
+    table.clear();
+    for (std::size_t i = 1; i <= 4; ++i)
+        EXPECT_EQ(table.at(i), 0u);
+}
+
+TEST(Lht, LoadFromCopies)
+{
+    LikelihoodTable a(4);
+    LikelihoodTable b(4);
+    a.recordStream(3);
+    b.loadFrom(a);
+    EXPECT_EQ(b.at(3), 1u);
+    a.recordStream(3);
+    EXPECT_EQ(b.at(3), 1u); // deep copy
+}
+
+} // namespace
+} // namespace asd

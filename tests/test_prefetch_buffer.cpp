@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for the Prefetch Buffer (paper section 3.3): consume-on-read,
+ * invalidate-on-write, LRU within sets, unused-eviction accounting,
+ * and capacity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/prefetch_buffer.hpp"
+
+namespace asd
+{
+namespace
+{
+
+TEST(PrefetchBuffer, InsertThenContains)
+{
+    PrefetchBuffer buffer(16, 4);
+    EXPECT_FALSE(buffer.contains(7));
+    buffer.insert(7);
+    EXPECT_TRUE(buffer.contains(7));
+    EXPECT_EQ(buffer.inserted(), 1u);
+}
+
+TEST(PrefetchBuffer, ConsumeInvalidatesAndCounts)
+{
+    PrefetchBuffer buffer(16, 4);
+    buffer.insert(7);
+    EXPECT_TRUE(buffer.consume(7));
+    EXPECT_FALSE(buffer.contains(7)); // paper: read hit invalidates
+    EXPECT_FALSE(buffer.consume(7));  // only once
+    EXPECT_EQ(buffer.consumed(), 1u);
+}
+
+TEST(PrefetchBuffer, WriteInvalidates)
+{
+    PrefetchBuffer buffer(16, 4);
+    buffer.insert(9);
+    buffer.invalidateOnWrite(9);
+    EXPECT_FALSE(buffer.contains(9));
+    EXPECT_EQ(buffer.writeInvalidations(), 1u);
+    buffer.invalidateOnWrite(9); // miss: no count
+    EXPECT_EQ(buffer.writeInvalidations(), 1u);
+}
+
+TEST(PrefetchBuffer, EvictedUnusedCounted)
+{
+    PrefetchBuffer buffer(4, 4); // one set
+    for (LineAddr line = 0; line < 5; ++line)
+        buffer.insert(line);
+    EXPECT_EQ(buffer.evictedUnused(), 1u);
+    EXPECT_FALSE(buffer.contains(0)); // LRU victim
+    EXPECT_TRUE(buffer.contains(4));
+}
+
+TEST(PrefetchBuffer, CapacityIsConfigured)
+{
+    PrefetchBuffer buffer(16, 4);
+    EXPECT_EQ(buffer.capacityLines(), 16u);
+    for (LineAddr line = 0; line < 16; ++line)
+        buffer.insert(line);
+    for (LineAddr line = 0; line < 16; ++line)
+        EXPECT_TRUE(buffer.contains(line)) << line;
+    buffer.insert(16);
+    EXPECT_EQ(buffer.evictedUnused(), 1u);
+}
+
+TEST(PrefetchBuffer, WaysCappedAtLines)
+{
+    PrefetchBuffer tiny(2, 8); // ways capped to 2
+    tiny.insert(0);
+    tiny.insert(1);
+    EXPECT_TRUE(tiny.contains(0));
+    EXPECT_TRUE(tiny.contains(1));
+}
+
+TEST(PrefetchBuffer, ReinsertionIsNotAnEviction)
+{
+    PrefetchBuffer buffer(4, 4);
+    buffer.insert(3);
+    buffer.insert(3);
+    EXPECT_EQ(buffer.inserted(), 2u);
+    EXPECT_EQ(buffer.evictedUnused(), 0u);
+}
+
+} // namespace
+} // namespace asd

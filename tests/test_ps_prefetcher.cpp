@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for the processor-side (Power5-style) prefetcher and the two
+ * MC-resident Fig. 11 baselines (next-line, P5-style).
+ */
+
+#include <gtest/gtest.h>
+
+#include "prefetch/mc_baselines.hpp"
+#include "prefetch/ps_prefetcher.hpp"
+
+namespace asd
+{
+namespace
+{
+
+TEST(Ps, NoPrefetchOnFirstMiss)
+{
+    PsPrefetcher ps({});
+    EXPECT_TRUE(ps.observe(100, true).empty());
+}
+
+TEST(Ps, ConfirmsOnTwoConsecutiveMisses)
+{
+    PsPrefetcher ps({});
+    ps.observe(100, true);
+    const auto reqs = ps.observe(101, true);
+    // Fresh confirmation ramps with depth 1.
+    ASSERT_EQ(reqs.size(), 1u);
+    EXPECT_EQ(reqs[0].line, 102u);
+    EXPECT_TRUE(reqs[0].to_l1);
+    EXPECT_EQ(ps.activeStreams(), 1u);
+}
+
+TEST(Ps, SteadyStateKeepsL1AndL2Ahead)
+{
+    PsPrefetcher ps({});
+    ps.observe(100, true);
+    ps.observe(101, true);
+    const auto reqs = ps.observe(102, false); // hit on prefetched line
+    ASSERT_EQ(reqs.size(), 2u);
+    EXPECT_EQ(reqs[0].line, 103u);
+    EXPECT_TRUE(reqs[0].to_l1);
+    EXPECT_EQ(reqs[1].line, 104u);
+    EXPECT_FALSE(reqs[1].to_l1);
+}
+
+TEST(Ps, NeverRepeatsARequest)
+{
+    PsPrefetcher ps({});
+    ps.observe(100, true);
+    ps.observe(101, true);
+    ps.observe(102, false);
+    const auto reqs = ps.observe(103, false);
+    // 104 was already requested; only 105 is new.
+    ASSERT_EQ(reqs.size(), 1u);
+    EXPECT_EQ(reqs[0].line, 105u);
+}
+
+TEST(Ps, HitsDoNotConfirmNewStreams)
+{
+    PsPrefetcher ps({});
+    ps.observe(100, true);
+    EXPECT_TRUE(ps.observe(101, false).empty()); // hit: no confirm
+    EXPECT_EQ(ps.activeStreams(), 0u);
+}
+
+TEST(Ps, HitsDoNotAllocate)
+{
+    PsPrefetcher ps({});
+    ps.observe(100, false);
+    ps.observe(101, true);
+    // 101's miss allocated; 100 never did; so 102 confirms 101's.
+    const auto reqs = ps.observe(102, true);
+    EXPECT_EQ(reqs.size(), 1u);
+}
+
+TEST(Ps, NegativeStreams)
+{
+    PsPrefetcher ps({});
+    ps.observe(100, true);
+    const auto reqs = ps.observe(99, true);
+    ASSERT_EQ(reqs.size(), 1u);
+    EXPECT_EQ(reqs[0].line, 98u);
+}
+
+TEST(Ps, ActiveStreamCap)
+{
+    PsConfig config;
+    config.max_active_streams = 2;
+    PsPrefetcher ps(config);
+    for (LineAddr base = 0; base < 3; ++base) {
+        ps.observe(base * 1000, true);
+        ps.observe(base * 1000 + 1, true);
+    }
+    EXPECT_EQ(ps.activeStreams(), 2u);
+}
+
+TEST(Ps, DetectionTableLruReplacement)
+{
+    PsConfig config;
+    config.detect_entries = 2;
+    PsPrefetcher ps(config);
+    ps.observe(1000, true);
+    ps.observe(2000, true);
+    ps.observe(3000, true); // evicts the 1000 entry (LRU)
+    // The 2000 entry survived and still confirms...
+    EXPECT_EQ(ps.observe(2001, true).size(), 1u);
+    // ...but the evicted 1000 entry no longer does.
+    EXPECT_TRUE(ps.observe(1001, true).empty());
+}
+
+TEST(Ps, InterleavedStreamsTrackedIndependently)
+{
+    PsPrefetcher ps({});
+    ps.observe(1000, true);
+    ps.observe(5000, true);
+    EXPECT_EQ(ps.observe(1001, true).size(), 1u);
+    EXPECT_EQ(ps.observe(5001, true).size(), 1u);
+    EXPECT_EQ(ps.activeStreams(), 2u);
+}
+
+// ---- MC-resident baselines ----
+
+AsdConfig
+baselineConfig()
+{
+    AsdConfig config;
+    config.epoch_reads = 100;
+    return config;
+}
+
+TEST(NextLineMc, AlwaysSuggestsNextLine)
+{
+    NextLineMcPrefetcher pf(baselineConfig());
+    const auto out = pf.observeRead(70, 0, 0);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 71u);
+}
+
+TEST(NextLineMc, BufferPlumbingWorks)
+{
+    NextLineMcPrefetcher pf(baselineConfig());
+    pf.fillBuffer(5, 0);
+    EXPECT_TRUE(pf.bufferContains(5));
+    EXPECT_TRUE(pf.lookupBuffer(5));
+    EXPECT_FALSE(pf.bufferContains(5));
+    pf.fillBuffer(6, 0);
+    pf.observeWrite(6, 0);
+    EXPECT_FALSE(pf.bufferContains(6));
+}
+
+TEST(NextLineMc, AdaptivePolicyMovesAcrossEpochs)
+{
+    AsdConfig config = baselineConfig();
+    config.epoch_reads = 10;
+    NextLineMcPrefetcher pf(config);
+    EXPECT_EQ(pf.schedulingPolicy(), 3);
+    for (int i = 0; i < 25; ++i)
+        pf.observeRead(static_cast<LineAddr>(i) * 100, 0, 0);
+    EXPECT_EQ(pf.schedulingPolicy(), 5); // two quiet epochs passed
+}
+
+TEST(P5StyleMc, PrefetchesOnlyConfirmedStreams)
+{
+    P5StyleMcPrefetcher pf(baselineConfig());
+    EXPECT_TRUE(pf.observeRead(100, 0, 0).empty());
+    const auto out = pf.observeRead(101, 0, 0);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 102u);
+    // Keeps going until the stream dies (paper: until a useless
+    // prefetch) — exactly what ASD avoids on short streams.
+    EXPECT_EQ(pf.observeRead(102, 0, 0).size(), 1u);
+}
+
+TEST(P5StyleMc, UnrelatedReadsNoPrefetch)
+{
+    P5StyleMcPrefetcher pf(baselineConfig());
+    pf.observeRead(100, 0, 0);
+    EXPECT_TRUE(pf.observeRead(500, 0, 0).empty());
+    EXPECT_TRUE(pf.observeRead(900, 0, 0).empty());
+}
+
+} // namespace
+} // namespace asd

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Unit and property tests for the section 3.2 math: P(i,j), the
+ * prefetch inequalities (5)/(6), and the read-weighted SLH bars.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "core/slh_math.hpp"
+
+namespace asd
+{
+namespace
+{
+
+TEST(SlhMath, LhtAtReturnsZeroBeyondTable)
+{
+    const std::vector<std::uint64_t> lht = {10, 6, 2};
+    EXPECT_EQ(lhtAt(lht, 1), 10u);
+    EXPECT_EQ(lhtAt(lht, 3), 2u);
+    EXPECT_EQ(lhtAt(lht, 4), 0u);
+    EXPECT_EQ(lhtAt(lht, 100), 0u);
+}
+
+TEST(SlhMath, ProbabilityMatchesPaperExample)
+{
+    // Fig. 2 narrative: 21.8% of reads in streams of length 1, 43.7%
+    // of length 2. Construct a table in those proportions (stream
+    // counts; probability here is stream-weighted but the identity
+    // P(i,i) = (lht(i)-lht(i+1))/lht(1) is what equation (1) states).
+    const std::vector<std::uint64_t> lht = {1000, 782, 345, 0};
+    EXPECT_NEAR(slhProbability(lht, 1, 1), 0.218, 1e-9);
+    EXPECT_NEAR(slhProbability(lht, 2, 2), 0.437, 1e-9);
+    EXPECT_NEAR(slhProbability(lht, 2, 100), 0.782, 1e-9);
+}
+
+TEST(SlhMath, ProbabilityOfFullRangeIsOne)
+{
+    const std::vector<std::uint64_t> lht = {50, 30, 12, 5, 1};
+    EXPECT_DOUBLE_EQ(slhProbability(lht, 1, 5), 1.0);
+}
+
+TEST(SlhMath, EmptyTableNeverPrefetches)
+{
+    const std::vector<std::uint64_t> lht(16, 0);
+    for (std::size_t k = 1; k <= 16; ++k)
+        EXPECT_FALSE(shouldPrefetchNext(lht, k));
+}
+
+TEST(SlhMath, DecisionMatchesPaperGemsExample)
+{
+    // Section 3.1's worked example: prefetch after the 1st element
+    // (78.2% of reads continue), not after the 2nd (43.7% end there
+    // vs 34.5% continuing).
+    const std::vector<std::uint64_t> lht = {1000, 782, 345, 250, 20};
+    EXPECT_TRUE(shouldPrefetchNext(lht, 1));
+    EXPECT_FALSE(shouldPrefetchNext(lht, 2));
+    EXPECT_TRUE(shouldPrefetchNext(lht, 3));
+}
+
+TEST(SlhMath, InequalityFiveEquivalentToProbabilityComparison)
+{
+    // Property: lht(k) < 2*lht(k+1) iff P(k,k) < P(k+1, Lm) over the
+    // full (untruncated) range, for random tables.
+    Rng rng(42);
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<std::uint64_t> lht(16);
+        std::uint64_t v = 500 + rng.nextBelow(500);
+        for (auto &entry : lht) {
+            entry = v;
+            v -= rng.nextBelow(v / 2 + 1);
+        }
+        for (std::size_t k = 1; k < 16; ++k) {
+            const double p_end = slhProbability(lht, k, k);
+            const double p_more = slhProbability(lht, k + 1, 16);
+            EXPECT_EQ(shouldPrefetchNext(lht, k), p_end < p_more)
+                << "trial " << trial << " k " << k;
+        }
+    }
+}
+
+TEST(SlhMath, DegreeGeneralization)
+{
+    const std::vector<std::uint64_t> lht = {100, 90, 80, 10};
+    // d=1 from k=1: 100 < 180 -> yes. d=3 from k=1: 100 < 20 -> no.
+    EXPECT_TRUE(shouldPrefetchDegree(lht, 1, 1));
+    EXPECT_TRUE(shouldPrefetchDegree(lht, 1, 2));
+    EXPECT_FALSE(shouldPrefetchDegree(lht, 1, 3));
+}
+
+TEST(SlhMath, DegreeDecisionsAreMonotoneForConcaveTables)
+{
+    // For monotone non-increasing lht, once (6) fails for some d it
+    // fails for all larger d (lht(k+d) only shrinks).
+    Rng rng(7);
+    for (int trial = 0; trial < 100; ++trial) {
+        std::vector<std::uint64_t> lht(16);
+        std::uint64_t v = 1000;
+        for (auto &entry : lht) {
+            entry = v;
+            v -= rng.nextBelow(v / 3 + 1);
+        }
+        for (std::size_t k = 1; k <= 8; ++k) {
+            bool failed = false;
+            for (std::size_t d = 1; d <= 8; ++d) {
+                const bool yes = shouldPrefetchDegree(lht, k, d);
+                if (failed) {
+                    EXPECT_FALSE(yes);
+                }
+                failed = failed || !yes;
+            }
+        }
+    }
+}
+
+TEST(SlhMath, ReadWeightedBarsSumToOne)
+{
+    const std::vector<std::uint64_t> lht = {100, 60, 25, 10, 2};
+    const std::vector<double> bars = readWeightedSlh(lht);
+    double sum = 0.0;
+    for (const double bar : bars)
+        sum += bar;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(SlhMath, ReadWeightedBarsWeightLongStreams)
+{
+    // 10 streams of length 1 and 10 streams of length 4: reads split
+    // 10 vs 40.
+    const std::vector<std::uint64_t> lht = {20, 10, 10, 10};
+    const std::vector<double> bars = readWeightedSlh(lht);
+    EXPECT_NEAR(bars[0], 10.0 / 50.0, 1e-12);
+    EXPECT_NEAR(bars[3], 40.0 / 50.0, 1e-12);
+}
+
+TEST(SlhMath, ReadWeightedEmptyTableIsZero)
+{
+    const std::vector<std::uint64_t> lht(16, 0);
+    for (const double bar : readWeightedSlh(lht))
+        EXPECT_EQ(bar, 0.0);
+}
+
+} // namespace
+} // namespace asd

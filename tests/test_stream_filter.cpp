@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests for the Stream Filter (paper section 3.3): allocation,
+ * extension, direction flipping, same-line refresh, overflow,
+ * lifetime expiry, epoch flush, and the unbounded oracle mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/stream_filter.hpp"
+
+namespace asd
+{
+namespace
+{
+
+using Kind = StreamObservation::Kind;
+
+TEST(StreamFilter, AllocatesNewStream)
+{
+    StreamFilter filter(4, 100, 100);
+    const StreamObservation obs = filter.observe(10, 0);
+    EXPECT_EQ(obs.kind, Kind::Allocated);
+    EXPECT_EQ(obs.length, 1u);
+    EXPECT_EQ(obs.dir, StreamDir::Positive);
+    EXPECT_EQ(filter.liveStreams(), 1u);
+}
+
+TEST(StreamFilter, ExtendsPositiveStream)
+{
+    StreamFilter filter(4, 100, 100);
+    filter.observe(10, 0);
+    const StreamObservation obs = filter.observe(11, 1);
+    EXPECT_EQ(obs.kind, Kind::Extended);
+    EXPECT_EQ(obs.length, 2u);
+    EXPECT_EQ(obs.dir, StreamDir::Positive);
+    EXPECT_EQ(filter.observe(12, 2).length, 3u);
+    EXPECT_EQ(filter.liveStreams(), 1u);
+}
+
+TEST(StreamFilter, FlipsToNegativeOnSecondElement)
+{
+    StreamFilter filter(4, 100, 100);
+    filter.observe(10, 0);
+    const StreamObservation obs = filter.observe(9, 1);
+    EXPECT_EQ(obs.kind, Kind::Extended);
+    EXPECT_EQ(obs.dir, StreamDir::Negative);
+    EXPECT_EQ(obs.length, 2u);
+    // Continues downward.
+    EXPECT_EQ(filter.observe(8, 2).length, 3u);
+    // An upward read no longer extends it.
+    EXPECT_EQ(filter.observe(9, 3).kind, Kind::Allocated);
+}
+
+TEST(StreamFilter, NoFlipAfterDirectionCommitted)
+{
+    StreamFilter filter(4, 100, 100);
+    filter.observe(10, 0);
+    filter.observe(11, 1); // committed positive
+    const StreamObservation obs = filter.observe(10, 2);
+    // 10 == last - 1 but the stream has length 2: allocate new.
+    EXPECT_EQ(obs.kind, Kind::Allocated);
+}
+
+TEST(StreamFilter, SameLineRefreshesLifetime)
+{
+    StreamFilter filter(4, 100, 100);
+    filter.observe(10, 0); // expires at 100
+    const StreamObservation obs = filter.observe(10, 90);
+    EXPECT_EQ(obs.kind, Kind::SameLine);
+    // Refreshed to 90 + 100; no expiry at 150.
+    EXPECT_TRUE(filter.expireLifetimes(150).empty());
+    EXPECT_EQ(filter.expireLifetimes(190).size(), 1u);
+}
+
+TEST(StreamFilter, OverflowWhenFull)
+{
+    StreamFilter filter(2, 100, 100);
+    filter.observe(10, 0);
+    filter.observe(20, 0);
+    const StreamObservation obs = filter.observe(30, 0);
+    EXPECT_EQ(obs.kind, Kind::Overflow);
+    EXPECT_EQ(filter.liveStreams(), 2u);
+}
+
+TEST(StreamFilter, OverflowReadCanStillExtend)
+{
+    StreamFilter filter(2, 100, 100);
+    filter.observe(10, 0);
+    filter.observe(20, 0);
+    // 11 extends the first stream even though the filter is full.
+    EXPECT_EQ(filter.observe(11, 0).kind, Kind::Extended);
+}
+
+TEST(StreamFilter, LifetimeExpiryReportsLength)
+{
+    StreamFilter filter(4, 100, 50);
+    filter.observe(10, 0);
+    filter.observe(11, 10); // expires at 100 + 50 = 150
+    EXPECT_TRUE(filter.expireLifetimes(149).empty());
+    const auto dead = filter.expireLifetimes(150);
+    ASSERT_EQ(dead.size(), 1u);
+    EXPECT_EQ(dead[0].length, 2u);
+    EXPECT_EQ(dead[0].dir, StreamDir::Positive);
+    EXPECT_EQ(filter.liveStreams(), 0u);
+}
+
+TEST(StreamFilter, ExtensionAddsLifetimeWithSaturation)
+{
+    StreamFilter filter(4, 100, 100);
+    filter.observe(10, 0);
+    for (LineAddr line = 11; line < 15; ++line)
+        filter.observe(line, 0);
+    // The lifetime counter saturates at init + extend from the last
+    // extension (all at t=0): expires at 200, not 500 — a finite
+    // counter cannot bank unbounded lifetime.
+    EXPECT_TRUE(filter.expireLifetimes(199).empty());
+    EXPECT_EQ(filter.expireLifetimes(200).size(), 1u);
+}
+
+TEST(StreamFilter, ExtensionRefreshesFromNow)
+{
+    StreamFilter filter(4, 100, 100);
+    filter.observe(10, 0);   // expires at 100
+    filter.observe(11, 90);  // extend: min(100+100, 90+200) = 200
+    EXPECT_TRUE(filter.expireLifetimes(199).empty());
+    filter.observe(12, 199); // extend: min(200+100, 199+200) = 300
+    EXPECT_TRUE(filter.expireLifetimes(299).empty());
+    EXPECT_EQ(filter.expireLifetimes(300).size(), 1u);
+}
+
+TEST(StreamFilter, FlushReturnsEverything)
+{
+    StreamFilter filter(4, 100, 100);
+    filter.observe(10, 0);
+    filter.observe(11, 0);
+    filter.observe(50, 0);
+    const auto dead = filter.flushAll();
+    ASSERT_EQ(dead.size(), 2u);
+    EXPECT_EQ(filter.liveStreams(), 0u);
+    std::uint64_t total_len = 0;
+    for (const auto &stream : dead)
+        total_len += stream.length;
+    EXPECT_EQ(total_len, 3u);
+}
+
+TEST(StreamFilter, SlotReusableAfterExpiry)
+{
+    StreamFilter filter(1, 100, 100);
+    filter.observe(10, 0);
+    EXPECT_EQ(filter.observe(20, 1).kind, Kind::Overflow);
+    filter.expireLifetimes(200);
+    EXPECT_EQ(filter.observe(20, 200).kind, Kind::Allocated);
+}
+
+TEST(StreamFilter, OracleModeNeverOverflows)
+{
+    StreamFilter filter(0, kNoCycle / 2, 0);
+    for (LineAddr base = 0; base < 1000; ++base)
+        EXPECT_NE(filter.observe(base * 100, 0).kind, Kind::Overflow);
+    EXPECT_EQ(filter.liveStreams(), 1000u);
+    EXPECT_EQ(filter.flushAll().size(), 1000u);
+    EXPECT_EQ(filter.liveStreams(), 0u);
+}
+
+TEST(StreamFilter, OracleTracksInterleavedStreamsExactly)
+{
+    StreamFilter filter(0, kNoCycle / 2, 0);
+    // Interleave 10 streams of length 7.
+    for (std::uint64_t element = 0; element < 7; ++element)
+        for (LineAddr stream = 0; stream < 10; ++stream)
+            filter.observe(stream * 1000 + element, 0);
+    const auto dead = filter.flushAll();
+    ASSERT_EQ(dead.size(), 10u);
+    for (const auto &stream : dead)
+        EXPECT_EQ(stream.length, 7u);
+}
+
+TEST(StreamFilter, ZeroAddressNegativeGuard)
+{
+    StreamFilter filter(4, 100, 100);
+    filter.observe(0, 0);
+    // No line below 0 exists; a read of huge address allocates.
+    EXPECT_EQ(filter.observe(~LineAddr{0} / 2, 0).kind,
+              Kind::Allocated);
+}
+
+} // namespace
+} // namespace asd

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the stride prefetcher and strided synthetic streams: the
+ * dimension ASD's unit-stride Stream Filter cannot cover.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/asd_prefetcher.hpp"
+#include "prefetch/stride_prefetcher.hpp"
+#include "trace/synthetic.hpp"
+
+namespace asd
+{
+namespace
+{
+
+AsdConfig
+shared()
+{
+    AsdConfig config;
+    config.epoch_reads = 1000;
+    return config;
+}
+
+TEST(Stride, LearnsUnitStride)
+{
+    StrideMcPrefetcher pf(shared(), StrideConfig{});
+    EXPECT_TRUE(pf.observeRead(100, 0, 0).empty()); // allocate
+    EXPECT_TRUE(pf.observeRead(101, 0, 0).empty()); // learn stride 1
+    const auto out = pf.observeRead(102, 0, 0);     // confirm
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 103u);
+}
+
+TEST(Stride, LearnsNonUnitStride)
+{
+    StrideMcPrefetcher pf(shared(), StrideConfig{});
+    pf.observeRead(100, 0, 0);
+    pf.observeRead(103, 0, 0); // stride 3
+    const auto out = pf.observeRead(106, 0, 0);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 109u);
+}
+
+TEST(Stride, LearnsNegativeStride)
+{
+    StrideMcPrefetcher pf(shared(), StrideConfig{});
+    pf.observeRead(100, 0, 0);
+    pf.observeRead(98, 0, 0);
+    const auto out = pf.observeRead(96, 0, 0);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 94u);
+}
+
+TEST(Stride, IgnoresDeltasBeyondMaxStride)
+{
+    StrideConfig config;
+    config.max_stride = 4;
+    StrideMcPrefetcher pf(shared(), config);
+    pf.observeRead(100, 0, 0);
+    pf.observeRead(200, 0, 0); // delta 100: a new stream, not a stride
+    EXPECT_EQ(pf.liveSlots(), 2u);
+}
+
+TEST(Stride, BrokenStrideRelearns)
+{
+    // A break in the pattern re-learns the new stride and needs a
+    // fresh confirmation before prefetching resumes.
+    StrideMcPrefetcher fresh(shared(), StrideConfig{});
+    fresh.observeRead(100, 0, 0);
+    fresh.observeRead(102, 0, 0);
+    fresh.observeRead(105, 0, 0); // breaks the 2-stride: re-learn 3
+    const auto out = fresh.observeRead(108, 0, 0); // confirm 3
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 111u);
+}
+
+TEST(Stride, DegreeEmitsMultipleTargets)
+{
+    StrideConfig config;
+    config.degree = 3;
+    StrideMcPrefetcher pf(shared(), config);
+    pf.observeRead(100, 0, 0);
+    pf.observeRead(102, 0, 0);
+    const auto out = pf.observeRead(104, 0, 0);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0], 106u);
+    EXPECT_EQ(out[1], 108u);
+    EXPECT_EQ(out[2], 110u);
+}
+
+TEST(Stride, StaleSlotsRecycle)
+{
+    StrideConfig config;
+    config.slots = 2;
+    config.lifetime_reads = 4;
+    StrideMcPrefetcher pf(shared(), config);
+    pf.observeRead(1000, 0, 0);
+    pf.observeRead(2000, 0, 0);
+    EXPECT_EQ(pf.liveSlots(), 2u);
+    // Push enough unrelated reads that the early slots expire and
+    // recycle (slots stays at capacity, but new lines get tracked).
+    for (LineAddr line = 0; line < 8; ++line)
+        pf.observeRead(100000 + line * 5000, 0, 0);
+    // 1000's slot is long gone: a read at 1001 cannot extend it.
+    pf.observeRead(1001, 0, 0);
+    EXPECT_TRUE(pf.observeRead(1002, 0, 0).empty());
+}
+
+/** Generator property: strided streams advance by the drawn stride. */
+TEST(StrideTrace, GeneratorEmitsStridedRuns)
+{
+    SyntheticConfig config;
+    config.seed = 5;
+    config.total_accesses = 20000;
+    config.working_set_bytes = 64ULL << 20;
+    config.reuse_frac = 0.0;
+    config.write_frac = 0.0;
+    config.negative_dir_frac = 0.0;
+    config.concurrent_streams = 1;
+    config.phases = {PhaseProfile{{0, 0, 0, 0, 0, 0, 0, 1.0}, 0}};
+    config.stride_weights = {0.0, 0.0, 1.0}; // stride 3 only
+    SyntheticTraceGenerator gen(config);
+
+    MemAccess access;
+    LineAddr prev = ~LineAddr{0};
+    std::uint64_t stride3 = 0;
+    std::uint64_t other = 0;
+    while (gen.next(access)) {
+        const LineAddr line = access.addr / config.line_bytes;
+        if (prev != ~LineAddr{0} && line != prev) {
+            if (line == prev + 3)
+                ++stride3;
+            else
+                ++other; // stream boundaries
+        }
+        prev = line;
+    }
+    EXPECT_GT(stride3, other * 5);
+}
+
+/**
+ * The headline contrast: on a stride-2 workload the stride prefetcher
+ * predicts and ASD (unit-stride streams only) stays silent.
+ */
+TEST(Stride, CoversWhatAsdCannot)
+{
+    AsdConfig asd_config = shared();
+    asd_config.epoch_reads = 20;
+    AsdPrefetcher asd(asd_config);
+    StrideMcPrefetcher stride(shared(), StrideConfig{});
+
+    std::uint64_t asd_suggestions = 0;
+    std::uint64_t stride_suggestions = 0;
+    for (std::uint32_t s = 0; s < 10; ++s) {
+        const LineAddr base = 1'000'000 + s * 10'000;
+        for (LineAddr i = 0; i < 6; ++i) {
+            asd_suggestions +=
+                asd.observeRead(base + i * 2, 0, s * 100).size();
+            stride_suggestions +=
+                stride.observeRead(base + i * 2, 0, s * 100).size();
+        }
+    }
+    EXPECT_EQ(asd_suggestions, 0u);
+    EXPECT_GT(stride_suggestions, 25u);
+}
+
+} // namespace
+} // namespace asd

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for the workload profiles and PMF helpers: suite membership,
+ * lookup, profile sanity (every benchmark runs), and the PMF builder
+ * functions.
+ */
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/slh_math.hpp"
+#include "workloads/pmf.hpp"
+#include "workloads/profiles.hpp"
+
+namespace asd
+{
+namespace
+{
+
+TEST(Workloads, SuiteSizesMatchPaper)
+{
+    EXPECT_EQ(suiteBenchmarks(Suite::Spec2006fp).size(), 17u);
+    EXPECT_EQ(suiteBenchmarks(Suite::Nas).size(), 8u);
+    EXPECT_EQ(suiteBenchmarks(Suite::Commercial).size(), 5u);
+}
+
+TEST(Workloads, SuiteNames)
+{
+    EXPECT_EQ(suiteName(Suite::Spec2006fp), "SPEC2006fp");
+    EXPECT_EQ(suiteName(Suite::Nas), "NAS");
+    EXPECT_EQ(suiteName(Suite::Commercial), "Commercial");
+}
+
+TEST(Workloads, FindBenchmarkAcrossSuites)
+{
+    EXPECT_EQ(findBenchmark("lbm").name, "lbm");
+    EXPECT_EQ(findBenchmark("cg").name, "cg");
+    EXPECT_EQ(findBenchmark("notesbench").name, "notesbench");
+}
+
+TEST(Workloads, UnknownBenchmarkIsFatal)
+{
+    EXPECT_EXIT(findBenchmark("nosuchthing"),
+                testing::ExitedWithCode(1), "unknown benchmark");
+}
+
+TEST(Workloads, DetailedStudySetMatchesPaper)
+{
+    const auto benches = detailedStudyBenchmarks();
+    ASSERT_EQ(benches.size(), 8u);
+    EXPECT_EQ(benches[0].name, "bwaves");
+    EXPECT_EQ(benches[2].name, "GemsFDTD");
+    EXPECT_EQ(benches[4].name, "tpcc");
+    EXPECT_EQ(benches[7].name, "notesbench");
+}
+
+TEST(Workloads, AllProfilesHaveDistinctSeeds)
+{
+    std::set<std::uint64_t> seeds;
+    for (const Suite suite :
+         {Suite::Spec2006fp, Suite::Nas, Suite::Commercial}) {
+        for (const Benchmark &bench : suiteBenchmarks(suite))
+            EXPECT_TRUE(seeds.insert(bench.trace.seed).second)
+                << bench.name;
+    }
+}
+
+TEST(Workloads, AllProfilesConstructGenerators)
+{
+    for (const Suite suite :
+         {Suite::Spec2006fp, Suite::Nas, Suite::Commercial}) {
+        for (const Benchmark &bench : suiteBenchmarks(suite)) {
+            SyntheticConfig config = bench.trace;
+            config.total_accesses = 100;
+            SyntheticTraceGenerator gen(config);
+            MemAccess access;
+            std::uint64_t count = 0;
+            while (gen.next(access))
+                ++count;
+            EXPECT_EQ(count, 100u) << bench.name;
+        }
+    }
+}
+
+TEST(Workloads, CommercialProfilesAreShortStreamHeavy)
+{
+    for (const Benchmark &bench : suiteBenchmarks(Suite::Commercial)) {
+        const auto &weights =
+            bench.trace.phases.front().stream_len_weights;
+        double total = 0.0;
+        double short_mass = 0.0;
+        for (std::size_t i = 0; i < weights.size(); ++i) {
+            total += weights[i];
+            if (i < 5)
+                short_mass += weights[i];
+        }
+        EXPECT_GT(short_mass / total, 0.75) << bench.name;
+    }
+}
+
+/**
+ * Paper fidelity (section 3.1): GemsFDTD's Fig. 2 histogram must
+ * drive exactly the narrated decisions — prefetch when the current
+ * stream length is 1, 3, or greater than 6 (up to the table edge),
+ * and not when it is 2, 4, 5 or 6.
+ */
+TEST(Workloads, GemsPhaseAMatchesPaperDecisions)
+{
+    std::vector<double> bars = {21.8, 43.7, 11.13, 10.12, 5.75, 3.14,
+                                0.70, 0.62, 0.54,  0.46,  0.39, 0.32,
+                                0.27, 0.22, 0.18,  0.66};
+    const auto weights = readWeightedToStreamCounts(bars);
+    // Build an integer lht() table from the stream-count weights.
+    std::vector<std::uint64_t> lht(16, 0);
+    for (std::size_t i = 0; i < 16; ++i) {
+        double suffix = 0.0;
+        for (std::size_t j = i; j < 16; ++j)
+            suffix += weights[j];
+        lht[i] = static_cast<std::uint64_t>(suffix * 100000.0);
+    }
+    const std::map<std::size_t, bool> expected = {
+        {1, true},  {2, false}, {3, true},  {4, false},
+        {5, false}, {6, false}, {7, true},  {8, true},
+        {9, true},  {10, true}, {11, true}, {12, true},
+        {13, true}, {14, true}, {15, true}, {16, false}};
+    for (const auto &[k, want] : expected)
+        EXPECT_EQ(shouldPrefetchNext(lht, k), want) << "k=" << k;
+}
+
+TEST(Pmf, GeometricShape)
+{
+    const auto weights = geometricPmf(0.5, 4);
+    ASSERT_EQ(weights.size(), 4u);
+    EXPECT_DOUBLE_EQ(weights[0], 1.0);
+    EXPECT_DOUBLE_EQ(weights[1], 0.5);
+    EXPECT_DOUBLE_EQ(weights[3], 0.125);
+}
+
+TEST(Pmf, PeakedShape)
+{
+    const auto weights = peakedPmf(3, 1, 5);
+    EXPECT_DOUBLE_EQ(weights[2], 1.0); // peak at length 3
+    EXPECT_GT(weights[1], 0.0);
+    EXPECT_DOUBLE_EQ(weights[0], 0.0); // outside the width
+    EXPECT_DOUBLE_EQ(weights[4], 0.0);
+}
+
+TEST(Pmf, ReadWeightedConversion)
+{
+    const auto weights = readWeightedToStreamCounts({10.0, 20.0, 30.0});
+    EXPECT_DOUBLE_EQ(weights[0], 10.0);
+    EXPECT_DOUBLE_EQ(weights[1], 10.0);
+    EXPECT_DOUBLE_EQ(weights[2], 10.0);
+}
+
+TEST(Pmf, BlendInterpolates)
+{
+    const auto blended = blendPmf({1.0, 0.0}, {0.0, 1.0}, 0.25);
+    EXPECT_DOUBLE_EQ(blended[0], 0.25);
+    EXPECT_DOUBLE_EQ(blended[1], 0.75);
+}
+
+} // namespace
+} // namespace asd
