@@ -3,12 +3,13 @@
  * Figure 14: sensitivity of PMS performance to the Prefetch Buffer
  * size (8, 16, 32 and 1024 lines), normalized to the paper's 16-line
  * configuration. The paper finds diminishing returns past 16 lines.
+ * The benchmark x size grid fans out over the sweep runner.
  */
 
 #include <iostream>
 
 #include "common/table.hpp"
-#include "sim/experiment.hpp"
+#include "suite_perf.hpp"
 
 int
 main()
@@ -16,25 +17,43 @@ main()
     using namespace asd;
 
     const std::vector<std::uint32_t> sizes = {8, 16, 32, 1024};
+    const std::vector<Benchmark> benches = detailedStudyBenchmarks();
+
+    std::vector<JobSpec> jobs;
+    for (const Benchmark &bench : benches) {
+        for (const std::uint32_t size : sizes) {
+            RunOptions options;
+            options.mode = PrefetchMode::PMS;
+            options.buffer_lines = size;
+            jobs.push_back(makeJob(bench, options));
+        }
+    }
+
+    const auto sink =
+        asd_bench::makeFigureSink("Figure 14 pb sensitivity");
+    SweepOptions sweep;
+    sweep.sink = sink.get();
+    SweepRunner runner(sweep);
+    const std::vector<JobResult> results = runner.run(jobs);
+    for (const JobResult &result : results)
+        if (result.status != JobStatus::Ok)
+            fatal("job " + result.spec.id + " failed: " +
+                  result.error);
+
     Table table({"benchmark", "8_blocks", "16_blocks", "32_blocks",
                  "1024_blocks"});
     std::vector<double> sums(sizes.size(), 0.0);
-    const std::vector<Benchmark> benches = detailedStudyBenchmarks();
-    for (const Benchmark &bench : benches) {
-        RunOptions base_options;
-        base_options.mode = PrefetchMode::PMS;
-        base_options.buffer_lines = 16;
-        const RunMetrics base = runBenchmark(bench, base_options);
-
-        std::vector<std::string> cells = {bench.name};
+    for (std::size_t b = 0; b < benches.size(); ++b) {
+        // Index of the 16-line baseline within this benchmark's runs.
+        const Cycle base_cycles =
+            results[b * sizes.size() + 1].metrics.cycles;
+        std::vector<std::string> cells = {benches[b].name};
         for (std::size_t i = 0; i < sizes.size(); ++i) {
-            RunOptions options = base_options;
-            options.buffer_lines = sizes[i];
-            const RunMetrics m =
-                sizes[i] == 16 ? base : runBenchmark(bench, options);
+            const RunMetrics &m =
+                results[b * sizes.size() + i].metrics;
             // Performance relative to the 16-line configuration
             // (higher = faster), like the paper's vertical axis.
-            const double rel = static_cast<double>(base.cycles) /
+            const double rel = static_cast<double>(base_cycles) /
                                static_cast<double>(m.cycles);
             sums[i] += rel;
             cells.push_back(Table::num(rel, 3));

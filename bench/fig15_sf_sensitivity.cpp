@@ -3,12 +3,13 @@
  * Figure 15: sensitivity of PMS performance to the Stream Filter
  * size (4, 8, 16 and 64 slots), normalized to the paper's 8-slot
  * configuration. The paper finds diminishing returns past 8 slots.
+ * The benchmark x size grid fans out over the sweep runner.
  */
 
 #include <iostream>
 
 #include "common/table.hpp"
-#include "sim/experiment.hpp"
+#include "suite_perf.hpp"
 
 int
 main()
@@ -16,23 +17,41 @@ main()
     using namespace asd;
 
     const std::vector<std::uint32_t> sizes = {4, 8, 16, 64};
+    const std::vector<Benchmark> benches = detailedStudyBenchmarks();
+
+    std::vector<JobSpec> jobs;
+    for (const Benchmark &bench : benches) {
+        for (const std::uint32_t size : sizes) {
+            RunOptions options;
+            options.mode = PrefetchMode::PMS;
+            options.filter_slots = size;
+            jobs.push_back(makeJob(bench, options));
+        }
+    }
+
+    const auto sink =
+        asd_bench::makeFigureSink("Figure 15 sf sensitivity");
+    SweepOptions sweep;
+    sweep.sink = sink.get();
+    SweepRunner runner(sweep);
+    const std::vector<JobResult> results = runner.run(jobs);
+    for (const JobResult &result : results)
+        if (result.status != JobStatus::Ok)
+            fatal("job " + result.spec.id + " failed: " +
+                  result.error);
+
     Table table(
         {"benchmark", "4_entry", "8_entry", "16_entry", "64_entry"});
     std::vector<double> sums(sizes.size(), 0.0);
-    const std::vector<Benchmark> benches = detailedStudyBenchmarks();
-    for (const Benchmark &bench : benches) {
-        RunOptions base_options;
-        base_options.mode = PrefetchMode::PMS;
-        base_options.filter_slots = 8;
-        const RunMetrics base = runBenchmark(bench, base_options);
-
-        std::vector<std::string> cells = {bench.name};
+    for (std::size_t b = 0; b < benches.size(); ++b) {
+        // Index of the 8-slot baseline within this benchmark's runs.
+        const Cycle base_cycles =
+            results[b * sizes.size() + 1].metrics.cycles;
+        std::vector<std::string> cells = {benches[b].name};
         for (std::size_t i = 0; i < sizes.size(); ++i) {
-            RunOptions options = base_options;
-            options.filter_slots = sizes[i];
-            const RunMetrics m =
-                sizes[i] == 8 ? base : runBenchmark(bench, options);
-            const double rel = static_cast<double>(base.cycles) /
+            const RunMetrics &m =
+                results[b * sizes.size() + i].metrics;
+            const double rel = static_cast<double>(base_cycles) /
                                static_cast<double>(m.cycles);
             sums[i] += rel;
             cells.push_back(Table::num(rel, 3));

@@ -6,15 +6,24 @@
  * Shared driver for the Figs. 5/6/7 performance benches: run every
  * benchmark of a suite in the four configurations and print the
  * paper's three comparisons (PMS vs NP, MS vs NP, PMS vs PS) plus the
- * suite averages.
+ * suite averages. The four-way sweeps fan out over the sweep runner's
+ * thread pool (results are identical to the old serial loop — the
+ * simulator is deterministic and every job is independent); setting
+ * ASD_JSON_DIR additionally writes one JSON record per run plus a
+ * manifest under $ASD_JSON_DIR/<figure-slug>/.
  */
 
+#include <cctype>
+#include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/log.hpp"
 #include "common/table.hpp"
-#include "sim/experiment.hpp"
+#include "runner/result_sink.hpp"
+#include "runner/sweep_runner.hpp"
 
 namespace asd_bench
 {
@@ -29,22 +38,86 @@ struct SuiteRow
     asd::RunMetrics pms;
 };
 
-/** Run the full four-way sweep for @p bench. */
+/** The four paper configurations, in SuiteRow order. */
+inline const std::vector<asd::PrefetchMode> &
+fourWayModes()
+{
+    static const std::vector<asd::PrefetchMode> modes = {
+        asd::PrefetchMode::NP, asd::PrefetchMode::PS,
+        asd::PrefetchMode::MS, asd::PrefetchMode::PMS};
+    return modes;
+}
+
+/** The four jobs of one benchmark's NP/PS/MS/PMS sweep. */
+inline std::vector<asd::JobSpec>
+fourWayJobs(const asd::Benchmark &bench)
+{
+    std::vector<asd::JobSpec> jobs;
+    for (const asd::PrefetchMode mode : fourWayModes()) {
+        asd::RunOptions options;
+        options.mode = mode;
+        jobs.push_back(asd::makeJob(bench, options));
+    }
+    return jobs;
+}
+
+/** Fold four mode-ordered results back into a SuiteRow. */
+inline SuiteRow
+toSuiteRow(const std::string &name,
+           const std::vector<asd::JobResult> &results,
+           std::size_t first)
+{
+    for (std::size_t i = 0; i < 4; ++i) {
+        const asd::JobResult &r = results[first + i];
+        if (r.status != asd::JobStatus::Ok)
+            asd::fatal("job " + r.spec.id + " failed: " + r.error);
+    }
+    SuiteRow row;
+    row.name = name;
+    row.np = results[first + 0].metrics;
+    row.ps = results[first + 1].metrics;
+    row.ms = results[first + 2].metrics;
+    row.pms = results[first + 3].metrics;
+    return row;
+}
+
+/** Run the full four-way sweep for @p bench (parallel). */
 inline SuiteRow
 runFourWay(const asd::Benchmark &bench)
 {
-    SuiteRow row;
-    row.name = bench.name;
-    asd::RunOptions options;
-    options.mode = asd::PrefetchMode::NP;
-    row.np = asd::runBenchmark(bench, options);
-    options.mode = asd::PrefetchMode::PS;
-    row.ps = asd::runBenchmark(bench, options);
-    options.mode = asd::PrefetchMode::MS;
-    row.ms = asd::runBenchmark(bench, options);
-    options.mode = asd::PrefetchMode::PMS;
-    row.pms = asd::runBenchmark(bench, options);
-    return row;
+    asd::SweepRunner runner;
+    return toSuiteRow(bench.name, runner.run(fourWayJobs(bench)), 0);
+}
+
+/** Lower-case [a-z0-9_] slug for result-directory names. */
+inline std::string
+figureSlug(const std::string &figure)
+{
+    std::string slug;
+    for (const char c : figure) {
+        if (std::isalnum(static_cast<unsigned char>(c)))
+            slug += static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+        else if (!slug.empty() && slug.back() != '_')
+            slug += '_';
+    }
+    while (!slug.empty() && slug.back() == '_')
+        slug.pop_back();
+    return slug.empty() ? std::string("figure") : slug;
+}
+
+/**
+ * When ASD_JSON_DIR is set, a JsonDirSink writing under
+ * $ASD_JSON_DIR/<slug>/; otherwise null.
+ */
+inline std::unique_ptr<asd::JsonDirSink>
+makeFigureSink(const std::string &figure)
+{
+    const char *dir = std::getenv("ASD_JSON_DIR");
+    if (!dir || *dir == '\0')
+        return nullptr;
+    return std::make_unique<asd::JsonDirSink>(
+        std::string(dir) + "/" + figureSlug(figure));
 }
 
 /** Print the figure's table for @p suite; returns the rows. */
@@ -56,14 +129,29 @@ runSuitePerfFigure(asd::Suite suite, const std::string &figure,
     std::cout << figure << ": performance improvements for the "
               << asd::suiteName(suite) << " benchmarks (percent)\n\n";
 
+    // One sweep over every benchmark x mode pair: the whole figure
+    // fans out across the pool at once.
+    std::vector<asd::JobSpec> jobs;
+    for (const asd::Benchmark &bench : benches)
+        for (asd::JobSpec &job : fourWayJobs(bench))
+            jobs.push_back(std::move(job));
+
+    const std::unique_ptr<asd::JsonDirSink> sink =
+        makeFigureSink(figure);
+    asd::SweepOptions sweep;
+    sweep.sink = sink.get();
+    asd::SweepRunner runner(sweep);
+    const std::vector<asd::JobResult> results = runner.run(jobs);
+
     asd::Table table(
         {"benchmark", "PMS_vs_NP", "MS_vs_NP", "PMS_vs_PS"});
     std::vector<SuiteRow> rows;
     double sum_pms_np = 0.0;
     double sum_ms_np = 0.0;
     double sum_pms_ps = 0.0;
-    for (const asd::Benchmark &bench : benches) {
-        const SuiteRow row = runFourWay(bench);
+    for (std::size_t b = 0; b < benches.size(); ++b) {
+        const SuiteRow row =
+            toSuiteRow(benches[b].name, results, b * 4);
         const double pms_np =
             asd::perfGainPct(row.np.cycles, row.pms.cycles);
         const double ms_np =

@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Parallel configuration-grid sweep driver. Expands suite/benchmark
+ * selections times a grid of prefetcher knobs into JobSpecs, fans
+ * them out over the sweep runner's thread pool, and writes one JSON
+ * record per job plus a manifest (and optionally a flat CSV) under
+ * --out. Exit status is non-zero if any job failed.
+ *
+ * Usage:
+ *   asdsweep [--suite spec|nas|commercial|detailed|all]...
+ *            [--bench NAME]...
+ *            [--modes NP,PS,MS,PMS] [--prefetchers asd,nextline,...]
+ *            [--buffer-lines 8,16,32] [--filter-slots 4,8,16]
+ *            [--degrees 1,2] [--accesses N] [--seed N]
+ *            [--threads N] [--timeout-ms N]
+ *            [--out DIR] [--csv] [--quiet]
+ *
+ * Thread count defaults to the ASD_SWEEP_THREADS environment
+ * variable, then to the hardware concurrency.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/log.hpp"
+#include "runner/result_sink.hpp"
+#include "runner/sweep_runner.hpp"
+#include "runner/thread_pool.hpp"
+#include "sim/serialize.hpp"
+
+namespace
+{
+
+using namespace asd;
+
+struct CliConfig
+{
+    std::vector<std::string> suites;
+    std::vector<std::string> bench_names;
+    std::vector<PrefetchMode> modes;
+    std::vector<McPrefetcherKind> prefetchers;
+    std::vector<std::uint32_t> buffer_lines;
+    std::vector<std::uint32_t> filter_slots;
+    std::vector<std::uint32_t> degrees;
+    std::optional<std::uint64_t> accesses;
+    std::optional<std::uint64_t> seed;
+    unsigned threads = 0;
+    double timeout_ms = 0.0;
+    std::string out_dir = "results/sweep";
+    bool csv = false;
+    bool quiet = false;
+};
+
+void
+usage()
+{
+    std::cout
+        << "usage: asdsweep [options]\n"
+           "  --suite NAME        spec|nas|commercial|detailed|all "
+           "(repeatable; default detailed)\n"
+           "  --bench NAME        single benchmark (repeatable)\n"
+           "  --modes LIST        comma list of NP,PS,MS,PMS "
+           "(default all four)\n"
+           "  --prefetchers LIST  asd,nextline,p5,ghb,stride "
+           "(default asd)\n"
+           "  --buffer-lines LIST Prefetch Buffer sizes "
+           "(default 16)\n"
+           "  --filter-slots LIST Stream Filter sizes (default 8)\n"
+           "  --degrees LIST      max prefetch degrees (default 1)\n"
+           "  --accesses N        per-benchmark trace-length "
+           "override\n"
+           "  --seed N            trace-seed override for every job\n"
+           "  --threads N         worker threads (default "
+           "$ASD_SWEEP_THREADS or hardware)\n"
+           "  --timeout-ms N      soft per-job wall-clock limit\n"
+           "  --out DIR           result directory "
+           "(default results/sweep)\n"
+           "  --csv               also write <out>/sweep.csv\n"
+           "  --quiet             no progress line\n";
+}
+
+std::vector<std::string>
+splitCommas(const std::string &text)
+{
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t comma = text.find(',', start);
+        const std::size_t end =
+            comma == std::string::npos ? text.size() : comma;
+        if (end > start)
+            parts.push_back(text.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return parts;
+}
+
+std::uint64_t
+parseU64(const std::string &text, const std::string &flag)
+{
+    try {
+        std::size_t pos = 0;
+        const unsigned long long v = std::stoull(text, &pos);
+        if (pos != text.size())
+            throw std::invalid_argument(text);
+        return v;
+    } catch (const std::exception &) {
+        fatal("invalid value for " + flag + ": " + text);
+    }
+}
+
+std::vector<std::uint32_t>
+parseU32List(const std::string &text, const std::string &flag)
+{
+    std::vector<std::uint32_t> values;
+    for (const std::string &part : splitCommas(text)) {
+        const std::uint64_t v = parseU64(part, flag);
+        if (v == 0 || v > 1u << 20)
+            fatal("out-of-range value for " + flag + ": " + part);
+        values.push_back(static_cast<std::uint32_t>(v));
+    }
+    if (values.empty())
+        fatal("empty list for " + flag);
+    return values;
+}
+
+CliConfig
+parseArgs(int argc, char **argv)
+{
+    CliConfig cli;
+    const auto next = [&](int &i, const std::string &flag) {
+        if (i + 1 >= argc)
+            fatal("missing value for " + flag);
+        return std::string(argv[++i]);
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            std::exit(0);
+        } else if (arg == "--suite") {
+            cli.suites.push_back(next(i, arg));
+        } else if (arg == "--bench") {
+            cli.bench_names.push_back(next(i, arg));
+        } else if (arg == "--modes") {
+            for (const std::string &m : splitCommas(next(i, arg))) {
+                const auto mode = parsePrefetchMode(m);
+                if (!mode)
+                    fatal("unknown mode (use NP|PS|MS|PMS): " + m);
+                cli.modes.push_back(*mode);
+            }
+        } else if (arg == "--prefetchers") {
+            for (const std::string &p : splitCommas(next(i, arg))) {
+                const auto kind = parseMcPrefetcherKind(p);
+                if (!kind)
+                    fatal("unknown prefetcher kind: " + p);
+                cli.prefetchers.push_back(*kind);
+            }
+        } else if (arg == "--buffer-lines") {
+            cli.buffer_lines = parseU32List(next(i, arg), arg);
+        } else if (arg == "--filter-slots") {
+            cli.filter_slots = parseU32List(next(i, arg), arg);
+        } else if (arg == "--degrees") {
+            cli.degrees = parseU32List(next(i, arg), arg);
+        } else if (arg == "--accesses") {
+            cli.accesses = parseU64(next(i, arg), arg);
+        } else if (arg == "--seed") {
+            cli.seed = parseU64(next(i, arg), arg);
+        } else if (arg == "--threads") {
+            cli.threads =
+                static_cast<unsigned>(parseU64(next(i, arg), arg));
+        } else if (arg == "--timeout-ms") {
+            cli.timeout_ms =
+                static_cast<double>(parseU64(next(i, arg), arg));
+        } else if (arg == "--out") {
+            cli.out_dir = next(i, arg);
+        } else if (arg == "--csv") {
+            cli.csv = true;
+        } else if (arg == "--quiet") {
+            cli.quiet = true;
+        } else {
+            usage();
+            fatal("unknown argument: " + arg);
+        }
+    }
+    if (cli.modes.empty())
+        cli.modes = {PrefetchMode::NP, PrefetchMode::PS,
+                     PrefetchMode::MS, PrefetchMode::PMS};
+    if (cli.prefetchers.empty())
+        cli.prefetchers = {McPrefetcherKind::Asd};
+    if (cli.buffer_lines.empty())
+        cli.buffer_lines = {16};
+    if (cli.filter_slots.empty())
+        cli.filter_slots = {8};
+    if (cli.degrees.empty())
+        cli.degrees = {1};
+    if (cli.suites.empty() && cli.bench_names.empty())
+        cli.suites = {"detailed"};
+    return cli;
+}
+
+std::vector<Benchmark>
+selectBenchmarks(const CliConfig &cli)
+{
+    std::vector<Benchmark> benches;
+    const auto addSuite = [&](Suite suite) {
+        for (const Benchmark &b : suiteBenchmarks(suite))
+            benches.push_back(b);
+    };
+    for (const std::string &name : cli.suites) {
+        if (name == "spec") {
+            addSuite(Suite::Spec2006fp);
+        } else if (name == "nas") {
+            addSuite(Suite::Nas);
+        } else if (name == "commercial") {
+            addSuite(Suite::Commercial);
+        } else if (name == "detailed") {
+            for (const Benchmark &b : detailedStudyBenchmarks())
+                benches.push_back(b);
+        } else if (name == "all") {
+            addSuite(Suite::Spec2006fp);
+            addSuite(Suite::Nas);
+            addSuite(Suite::Commercial);
+        } else {
+            fatal("unknown suite (use "
+                  "spec|nas|commercial|detailed|all): " +
+                  name);
+        }
+    }
+    for (const std::string &name : cli.bench_names)
+        benches.push_back(findBenchmark(name));
+    return benches;
+}
+
+std::vector<JobSpec>
+buildJobs(const CliConfig &cli)
+{
+    std::vector<JobSpec> jobs;
+    for (const Benchmark &bench : selectBenchmarks(cli)) {
+        for (const PrefetchMode mode : cli.modes) {
+            for (const McPrefetcherKind kind : cli.prefetchers) {
+                for (const std::uint32_t pb : cli.buffer_lines) {
+                    for (const std::uint32_t sf : cli.filter_slots) {
+                        for (const std::uint32_t d : cli.degrees) {
+                            RunOptions options;
+                            options.mode = mode;
+                            options.mc_prefetcher = kind;
+                            options.buffer_lines = pb;
+                            options.filter_slots = sf;
+                            options.max_degree = d;
+                            options.accesses = cli.accesses;
+                            jobs.push_back(
+                                makeJob(bench, options, cli.seed));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return jobs;
+}
+
+void
+printProgress(const SweepProgress &p)
+{
+    std::fprintf(stderr,
+                 "\r[%zu/%zu] %5.1f%%  eta %6.1fs  last %s (%.0f ms)"
+                 "\033[K",
+                 p.done, p.total,
+                 100.0 * static_cast<double>(p.done) /
+                     static_cast<double>(p.total),
+                 p.eta_ms / 1000.0, p.last_id.c_str(),
+                 p.last_wall_ms);
+    if (p.done == p.total)
+        std::fprintf(stderr, "\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliConfig cli = parseArgs(argc, argv);
+    const std::vector<JobSpec> jobs = buildJobs(cli);
+    if (jobs.empty())
+        fatal("benchmark selection produced no jobs");
+
+    JsonDirSink json_sink(cli.out_dir);
+    std::vector<ResultSink *> sinks = {&json_sink};
+    std::optional<CsvSink> csv_sink;
+    if (cli.csv) {
+        csv_sink.emplace(cli.out_dir + "/sweep.csv");
+        sinks.push_back(&*csv_sink);
+    }
+    TeeSink tee(sinks);
+
+    SweepOptions sweep;
+    sweep.threads = cli.threads;
+    sweep.default_timeout_ms = cli.timeout_ms;
+    sweep.sink = &tee;
+    if (!cli.quiet)
+        sweep.on_progress = printProgress;
+
+    SweepRunner runner(sweep);
+    const std::vector<JobResult> results = runner.run(jobs);
+    const SweepSummary &summary = runner.lastSummary();
+
+    if (!cli.quiet) {
+        std::cout << summary.jobs << " jobs: " << summary.ok
+                  << " ok, " << summary.failed << " failed, "
+                  << summary.timed_out << " timed out in "
+                  << summary.wall_ms / 1000.0 << " s on "
+                  << summary.threads << " threads -> " << cli.out_dir
+                  << "\n";
+    }
+    for (const JobResult &result : results) {
+        if (result.status == JobStatus::Failed)
+            warn("job " + result.spec.id + " failed: " +
+                 result.error);
+    }
+    return summary.failed == 0 ? 0 : 1;
+}

@@ -2,8 +2,9 @@
  * @file
  * Diagnostic example: run one benchmark in one configuration and dump
  * every registered counter, the run metrics, and the final stream-
- * length histogram. Useful when adapting the simulator to new
- * workloads.
+ * length histogram — as one valid JSON document on stdout, so the
+ * output can feed scripts directly. Useful when adapting the
+ * simulator to new workloads.
  *
  * Usage: stats_dump [benchmark] [NP|PS|MS|PMS] [asd|nextline|p5]
  */
@@ -11,30 +12,11 @@
 #include <iostream>
 #include <string>
 
+#include "common/json.hpp"
 #include "common/log.hpp"
-#include "common/table.hpp"
-#include "sim/experiment.hpp"
+#include "sim/serialize.hpp"
 #include "sim/system.hpp"
 #include "trace/synthetic.hpp"
-
-namespace
-{
-
-asd::PrefetchMode
-parseMode(const std::string &text)
-{
-    if (text == "NP")
-        return asd::PrefetchMode::NP;
-    if (text == "PS")
-        return asd::PrefetchMode::PS;
-    if (text == "MS")
-        return asd::PrefetchMode::MS;
-    if (text == "PMS")
-        return asd::PrefetchMode::PMS;
-    asd::fatal("unknown mode (use NP|PS|MS|PMS): " + text);
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
@@ -43,18 +25,18 @@ main(int argc, char **argv)
 
     const std::string name = argc > 1 ? argv[1] : "GemsFDTD";
     const std::string mode_text = argc > 2 ? argv[2] : "PMS";
-    const PrefetchMode mode = parseMode(mode_text);
+    const auto mode = parsePrefetchMode(mode_text);
+    if (!mode)
+        fatal("unknown mode (use NP|PS|MS|PMS): " + mode_text);
     const std::string kind_text = argc > 3 ? argv[3] : "asd";
+    const auto kind = parseMcPrefetcherKind(kind_text);
+    if (!kind)
+        fatal("unknown prefetcher kind: " + kind_text);
 
     const Benchmark &bench = findBenchmark(name);
     RunOptions options;
-    options.mode = mode;
-    if (kind_text == "nextline")
-        options.mc_prefetcher = McPrefetcherKind::NextLine;
-    else if (kind_text == "p5")
-        options.mc_prefetcher = McPrefetcherKind::P5Style;
-    else if (kind_text != "asd")
-        fatal("unknown prefetcher kind: " + kind_text);
+    options.mode = *mode;
+    options.mc_prefetcher = *kind;
 
     SyntheticConfig trace_config = bench.trace;
     trace_config.total_accesses = scaledAccesses(bench, options);
@@ -63,28 +45,33 @@ main(int argc, char **argv)
     System system(makeSystemConfig(options), {&trace});
     const RunMetrics metrics = system.run();
 
-    std::cout << "benchmark " << name << ", mode " << mode_text
-              << "\n";
-    std::cout << "cycles " << metrics.cycles << "  accesses "
-              << metrics.accesses << "\n";
-    std::cout << "dram " << Table::num(metrics.dram_watts, 3) << " W, "
-              << Table::num(metrics.dram_energy_mj, 3) << " mJ\n";
-    std::cout << "coverage " << Table::num(metrics.coverage_pct)
-              << "%  useful " << Table::num(metrics.useful_prefetch_pct)
-              << "%  delayed "
-              << Table::num(metrics.delayed_regular_pct) << "%\n\n";
+    JsonWriter writer;
+    writer.beginObject();
+    writer.key("schema").value("asdsim/stats-dump/v1");
+    writer.key("benchmark").value(name);
+    writer.key("options");
+    writeJson(writer, options);
+    writer.key("metrics");
+    writeJson(writer, metrics);
 
+    writer.key("counters").beginObject();
     for (const auto &[stat_name, value] : system.stats().dump())
-        std::cout << stat_name << " = " << value << "\n";
+        writer.key(stat_name).value(value);
+    writer.endObject();
 
+    writer.key("stream_length_hist");
     if (const AsdPrefetcher *asd_pf = system.asd()) {
-        std::cout << "\nstream length histogram (streams):\n";
+        // Fraction of streams per length bucket (index 0 = length 1).
+        writer.beginArray();
         const Histogram &hist = asd_pf->streamLengthHist();
-        for (std::uint64_t len = 1; len <= hist.buckets(); ++len) {
-            std::cout << "  len " << len << ": "
-                      << Table::num(hist.fraction(len) * 100.0)
-                      << "%\n";
-        }
+        for (std::uint64_t len = 1; len <= hist.buckets(); ++len)
+            writer.value(hist.fraction(len));
+        writer.endArray();
+    } else {
+        writer.null();
     }
+    writer.endObject();
+
+    std::cout << writer.str() << "\n";
     return 0;
 }

@@ -1,0 +1,408 @@
+#include "common/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace asd
+{
+
+std::string
+jsonEscape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\b':
+            out += "\\b";
+            break;
+        case '\f':
+            out += "\\f";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+// --- JsonWriter ----------------------------------------------------
+
+void
+JsonWriter::separate()
+{
+    if (after_key_) {
+        after_key_ = false;
+        return;
+    }
+    if (!first_)
+        out_ += ',';
+    first_ = false;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separate();
+    out_ += '{';
+    stack_.push_back('{');
+    first_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    out_ += '}';
+    stack_.pop_back();
+    first_ = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separate();
+    out_ += '[';
+    stack_.push_back('[');
+    first_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    out_ += ']';
+    stack_.pop_back();
+    first_ = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view name)
+{
+    separate();
+    out_ += '"';
+    out_ += jsonEscape(name);
+    out_ += "\":";
+    after_key_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view text)
+{
+    separate();
+    out_ += '"';
+    out_ += jsonEscape(text);
+    out_ += '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *text)
+{
+    return value(std::string_view(text));
+}
+
+JsonWriter &
+JsonWriter::value(double number)
+{
+    if (!std::isfinite(number))
+        return null();
+    separate();
+    char buf[64];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), number);
+    out_.append(buf, res.ptr);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t number)
+{
+    separate();
+    out_ += std::to_string(number);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t number)
+{
+    separate();
+    out_ += std::to_string(number);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint32_t number)
+{
+    return value(static_cast<std::uint64_t>(number));
+}
+
+JsonWriter &
+JsonWriter::value(int number)
+{
+    return value(static_cast<std::int64_t>(number));
+}
+
+JsonWriter &
+JsonWriter::value(bool flag)
+{
+    separate();
+    out_ += flag ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    separate();
+    out_ += "null";
+    return *this;
+}
+
+// --- jsonParseCheck ------------------------------------------------
+
+namespace
+{
+
+/** Recursive-descent syntax checker over a raw character range. */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(std::string_view text) : text_(text) {}
+
+    bool
+    checkDocument()
+    {
+        skipWs();
+        if (!checkValue(0))
+            return false;
+        skipWs();
+        return pos_ == text_.size();
+    }
+
+  private:
+    static constexpr int kMaxDepth = 128;
+
+    bool
+    eof() const
+    {
+        return pos_ >= text_.size();
+    }
+
+    char
+    peek() const
+    {
+        return text_[pos_];
+    }
+
+    void
+    skipWs()
+    {
+        while (!eof() && (peek() == ' ' || peek() == '\t' ||
+                          peek() == '\n' || peek() == '\r'))
+            ++pos_;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    bool
+    checkString()
+    {
+        if (eof() || peek() != '"')
+            return false;
+        ++pos_;
+        while (!eof()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return false;
+            if (c == '\\') {
+                if (eof())
+                    return false;
+                const char esc = text_[pos_++];
+                if (esc == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        if (eof() || !std::isxdigit(static_cast<
+                                         unsigned char>(peek())))
+                            return false;
+                        ++pos_;
+                    }
+                } else if (esc != '"' && esc != '\\' && esc != '/' &&
+                           esc != 'b' && esc != 'f' && esc != 'n' &&
+                           esc != 'r' && esc != 't') {
+                    return false;
+                }
+            }
+        }
+        return false;
+    }
+
+    bool
+    digits()
+    {
+        if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+            return false;
+        while (!eof() &&
+               std::isdigit(static_cast<unsigned char>(peek())))
+            ++pos_;
+        return true;
+    }
+
+    bool
+    checkNumber()
+    {
+        if (!eof() && peek() == '-')
+            ++pos_;
+        if (eof())
+            return false;
+        if (peek() == '0')
+            ++pos_;
+        else if (!digits())
+            return false;
+        if (!eof() && peek() == '.') {
+            ++pos_;
+            if (!digits())
+                return false;
+        }
+        if (!eof() && (peek() == 'e' || peek() == 'E')) {
+            ++pos_;
+            if (!eof() && (peek() == '+' || peek() == '-'))
+                ++pos_;
+            if (!digits())
+                return false;
+        }
+        return true;
+    }
+
+    bool
+    checkValue(int depth)
+    {
+        if (eof() || depth > kMaxDepth)
+            return false;
+        const char c = peek();
+        if (c == '{')
+            return checkObject(depth);
+        if (c == '[')
+            return checkArray(depth);
+        if (c == '"')
+            return checkString();
+        if (c == 't')
+            return literal("true");
+        if (c == 'f')
+            return literal("false");
+        if (c == 'n')
+            return literal("null");
+        return checkNumber();
+    }
+
+    bool
+    checkObject(int depth)
+    {
+        ++pos_; // '{'
+        skipWs();
+        if (!eof() && peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!checkString())
+                return false;
+            skipWs();
+            if (eof() || peek() != ':')
+                return false;
+            ++pos_;
+            skipWs();
+            if (!checkValue(depth + 1))
+                return false;
+            skipWs();
+            if (eof())
+                return false;
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    checkArray(int depth)
+    {
+        ++pos_; // '['
+        skipWs();
+        if (!eof() && peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!checkValue(depth + 1))
+                return false;
+            skipWs();
+            if (eof())
+                return false;
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+bool
+jsonParseCheck(std::string_view text)
+{
+    return JsonChecker(text).checkDocument();
+}
+
+} // namespace asd

@@ -1,0 +1,76 @@
+#ifndef ASD_COMMON_JSON_HPP
+#define ASD_COMMON_JSON_HPP
+
+/**
+ * @file
+ * Minimal JSON emission used by the sweep runner and the diagnostic
+ * examples: a streaming writer that tracks container nesting and
+ * comma placement, plus a syntax checker the tests use to assert that
+ * everything we emit is parseable. No DOM, no external dependency.
+ */
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace asd
+{
+
+/** @return @p text with JSON string escaping applied (no quotes). */
+std::string jsonEscape(std::string_view text);
+
+/**
+ * @return true iff @p text is exactly one syntactically valid JSON
+ * value (RFC 8259 grammar; no trailing garbage).
+ */
+bool jsonParseCheck(std::string_view text);
+
+/**
+ * Streaming JSON writer. Calls append to an internal buffer; commas
+ * and key/value separators are inserted automatically, so callers
+ * only describe structure:
+ *
+ *     JsonWriter w;
+ *     w.beginObject().key("cycles").value(123).endObject();
+ *     w.str(); // {"cycles":123}
+ *
+ * Doubles are emitted shortest-round-trip; non-finite doubles become
+ * null (JSON has no NaN/Inf).
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Object member name; must be followed by exactly one value. */
+    JsonWriter &key(std::string_view name);
+
+    JsonWriter &value(std::string_view text);
+    JsonWriter &value(const char *text);
+    JsonWriter &value(double number);
+    JsonWriter &value(std::uint64_t number);
+    JsonWriter &value(std::int64_t number);
+    JsonWriter &value(std::uint32_t number);
+    JsonWriter &value(int number);
+    JsonWriter &value(bool flag);
+    JsonWriter &null();
+
+    /** The document so far; complete once every container is closed. */
+    const std::string &str() const { return out_; }
+
+  private:
+    void separate();
+
+    std::string out_;
+    std::vector<char> stack_;
+    bool first_ = true;
+    bool after_key_ = false;
+};
+
+} // namespace asd
+
+#endif // ASD_COMMON_JSON_HPP

@@ -41,6 +41,9 @@ struct PowerReport
             static_cast<double>(elapsed_cycles) / cpu_hz;
         return totalPj() * 1e-12 / seconds;
     }
+
+    /** Exact comparison (determinism checks in the sweep runner). */
+    bool operator==(const PowerReport &) const = default;
 };
 
 /** Computes a PowerReport from the DRAM's event counters. */

@@ -1,0 +1,104 @@
+#include "runner/job.hpp"
+
+#include <chrono>
+#include <exception>
+
+#include "common/log.hpp"
+#include "sim/serialize.hpp"
+
+namespace asd
+{
+
+std::string
+toString(JobStatus status)
+{
+    switch (status) {
+    case JobStatus::Ok:
+        return "ok";
+    case JobStatus::Failed:
+        return "failed";
+    case JobStatus::TimedOut:
+        return "timed_out";
+    }
+    panic("unhandled JobStatus");
+}
+
+std::string
+makeJobId(const Benchmark &bench, const RunOptions &options,
+          std::optional<std::uint64_t> seed)
+{
+    std::string id = bench.name;
+    id += '.';
+    id += toString(options.mode);
+    id += '.';
+    id += toString(options.mc_prefetcher);
+    id += ".pb" + std::to_string(options.buffer_lines);
+    id += "_sf" + std::to_string(options.filter_slots);
+    id += "_d" + std::to_string(options.max_degree);
+    if (options.scheduler != SchedulerKind::Ahb)
+        id += '.' + toString(options.scheduler);
+    if (options.ps_kind != PsKind::Power5)
+        id += ".ps_" + toString(options.ps_kind);
+    if (options.fixed_policy)
+        id += ".pol" + std::to_string(*options.fixed_policy);
+    if (options.saturate_long_streams)
+        id += ".sat";
+    if (options.ps_oracle)
+        id += ".oracle";
+    if (options.accesses)
+        id += ".acc" + std::to_string(*options.accesses);
+    if (seed)
+        id += ".seed" + std::to_string(*seed);
+    return id;
+}
+
+JobSpec
+makeJob(const Benchmark &bench, const RunOptions &options,
+        std::optional<std::uint64_t> seed)
+{
+    JobSpec job;
+    job.id = makeJobId(bench, options, seed);
+    job.bench = bench;
+    job.options = options;
+    job.seed = seed;
+    return job;
+}
+
+JobResult
+runJob(const JobSpec &job)
+{
+    JobResult result;
+    result.spec = job;
+
+    const auto start = std::chrono::steady_clock::now();
+    try {
+        if (job.body) {
+            result.metrics = job.body(job);
+        } else {
+            Benchmark bench = job.bench;
+            if (job.seed)
+                bench.trace.seed = *job.seed;
+            result.metrics = runBenchmark(bench, job.options);
+        }
+        result.status = JobStatus::Ok;
+    } catch (const std::exception &e) {
+        result.status = JobStatus::Failed;
+        result.error = e.what();
+    } catch (...) {
+        result.status = JobStatus::Failed;
+        result.error = "unknown exception";
+    }
+    const auto end = std::chrono::steady_clock::now();
+    result.wall_ms =
+        std::chrono::duration<double, std::milli>(end - start).count();
+
+    if (result.status == JobStatus::Ok && job.timeout_ms > 0.0 &&
+        result.wall_ms > job.timeout_ms) {
+        result.status = JobStatus::TimedOut;
+        result.error = "exceeded timeout of " +
+                       std::to_string(job.timeout_ms) + " ms";
+    }
+    return result;
+}
+
+} // namespace asd

@@ -1,6 +1,8 @@
 #include "sim/experiment.hpp"
 
+#include <cmath>
 #include <cstdlib>
+#include <string>
 
 #include "common/log.hpp"
 #include "sim/system.hpp"
@@ -10,19 +12,30 @@ namespace asd
 {
 
 double
+parseBenchScale(const char *text)
+{
+    if (!text || *text == '\0')
+        return 1.0;
+    char *end = nullptr;
+    const double v = std::strtod(text, &end);
+    if (end == text || *end != '\0') {
+        warn("ignoring non-numeric ASD_BENCH_SCALE \"" +
+             std::string(text) + "\"");
+        return 1.0;
+    }
+    if (!std::isfinite(v) || v <= 0.0) {
+        warn("ignoring non-positive ASD_BENCH_SCALE \"" +
+             std::string(text) + "\"");
+        return 1.0;
+    }
+    return v;
+}
+
+double
 benchScale()
 {
-    static const double scale = [] {
-        const char *env = std::getenv("ASD_BENCH_SCALE");
-        if (!env)
-            return 1.0;
-        const double v = std::atof(env);
-        if (v <= 0.0) {
-            warn("ignoring non-positive ASD_BENCH_SCALE");
-            return 1.0;
-        }
-        return v;
-    }();
+    static const double scale =
+        parseBenchScale(std::getenv("ASD_BENCH_SCALE"));
     return scale;
 }
 

@@ -61,6 +61,16 @@ RunMetrics runSmtPair(const Benchmark &a, const Benchmark &b,
  */
 double benchScale();
 
+/**
+ * Parse one ASD_BENCH_SCALE value. Unset (nullptr), empty,
+ * non-numeric, non-finite, or non-positive text yields 1.0 (with a
+ * warning for everything except unset/empty) instead of propagating a
+ * garbage trace length. Exposed separately so tests can cover the
+ * rejection paths without mutating the environment behind the cached
+ * benchScale().
+ */
+double parseBenchScale(const char *text);
+
 /** Apply benchScale() and any explicit override to a trace length. */
 std::uint64_t scaledAccesses(const Benchmark &bench,
                              const RunOptions &options);

@@ -50,6 +50,14 @@ struct RunMetrics
     std::uint64_t ms_prefetches_issued = 0;
     std::uint64_t buffer_hits = 0;
     std::uint64_t lpq_drops = 0;
+
+    /**
+     * Exact (bit-level for the doubles) comparison. The simulator is
+     * deterministic, so two runs of the same configuration must agree
+     * on every field; the sweep runner's parallel-vs-serial test
+     * relies on this.
+     */
+    bool operator==(const RunMetrics &) const = default;
 };
 
 /**

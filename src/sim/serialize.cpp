@@ -1,0 +1,173 @@
+#include "sim/serialize.hpp"
+
+#include "common/log.hpp"
+
+namespace asd
+{
+
+std::string
+toString(PrefetchMode mode)
+{
+    switch (mode) {
+    case PrefetchMode::NP:
+        return "NP";
+    case PrefetchMode::PS:
+        return "PS";
+    case PrefetchMode::MS:
+        return "MS";
+    case PrefetchMode::PMS:
+        return "PMS";
+    }
+    panic("unhandled PrefetchMode");
+}
+
+std::string
+toString(McPrefetcherKind kind)
+{
+    switch (kind) {
+    case McPrefetcherKind::Asd:
+        return "asd";
+    case McPrefetcherKind::NextLine:
+        return "nextline";
+    case McPrefetcherKind::P5Style:
+        return "p5";
+    case McPrefetcherKind::Ghb:
+        return "ghb";
+    case McPrefetcherKind::Stride:
+        return "stride";
+    }
+    panic("unhandled McPrefetcherKind");
+}
+
+std::string
+toString(PsKind kind)
+{
+    switch (kind) {
+    case PsKind::Power5:
+        return "power5";
+    case PsKind::Asd:
+        return "asd";
+    }
+    panic("unhandled PsKind");
+}
+
+std::string
+toString(SchedulerKind kind)
+{
+    switch (kind) {
+    case SchedulerKind::InOrder:
+        return "inorder";
+    case SchedulerKind::Memoryless:
+        return "memoryless";
+    case SchedulerKind::Ahb:
+        return "ahb";
+    case SchedulerKind::FrFcfs:
+        return "frfcfs";
+    }
+    panic("unhandled SchedulerKind");
+}
+
+std::optional<PrefetchMode>
+parsePrefetchMode(const std::string &text)
+{
+    if (text == "NP")
+        return PrefetchMode::NP;
+    if (text == "PS")
+        return PrefetchMode::PS;
+    if (text == "MS")
+        return PrefetchMode::MS;
+    if (text == "PMS")
+        return PrefetchMode::PMS;
+    return std::nullopt;
+}
+
+std::optional<McPrefetcherKind>
+parseMcPrefetcherKind(const std::string &text)
+{
+    if (text == "asd")
+        return McPrefetcherKind::Asd;
+    if (text == "nextline")
+        return McPrefetcherKind::NextLine;
+    if (text == "p5")
+        return McPrefetcherKind::P5Style;
+    if (text == "ghb")
+        return McPrefetcherKind::Ghb;
+    if (text == "stride")
+        return McPrefetcherKind::Stride;
+    return std::nullopt;
+}
+
+void
+writeJson(JsonWriter &writer, const RunOptions &options)
+{
+    writer.beginObject();
+    writer.key("mode").value(toString(options.mode));
+    writer.key("mc_prefetcher").value(toString(options.mc_prefetcher));
+    writer.key("ps_kind").value(toString(options.ps_kind));
+    writer.key("scheduler").value(toString(options.scheduler));
+    writer.key("fixed_policy");
+    if (options.fixed_policy)
+        writer.value(*options.fixed_policy);
+    else
+        writer.null();
+    writer.key("buffer_lines").value(options.buffer_lines);
+    writer.key("filter_slots").value(options.filter_slots);
+    writer.key("max_degree").value(options.max_degree);
+    writer.key("saturate_long_streams")
+        .value(options.saturate_long_streams);
+    writer.key("ps_oracle").value(options.ps_oracle);
+    writer.key("accesses");
+    if (options.accesses)
+        writer.value(*options.accesses);
+    else
+        writer.null();
+    writer.endObject();
+}
+
+void
+writeJson(JsonWriter &writer, const RunMetrics &metrics)
+{
+    writer.beginObject();
+    writer.key("cycles").value(metrics.cycles);
+    writer.key("accesses").value(metrics.accesses);
+    writer.key("dram_watts").value(metrics.dram_watts);
+    writer.key("dram_energy_mj").value(metrics.dram_energy_mj);
+    writer.key("power_pj").beginObject();
+    writer.key("background").value(metrics.power.background_pj);
+    writer.key("activate").value(metrics.power.activate_pj);
+    writer.key("read").value(metrics.power.read_pj);
+    writer.key("write").value(metrics.power.write_pj);
+    writer.key("refresh").value(metrics.power.refresh_pj);
+    writer.key("total").value(metrics.power.totalPj());
+    writer.endObject();
+    writer.key("useful_prefetch_pct")
+        .value(metrics.useful_prefetch_pct);
+    writer.key("coverage_pct").value(metrics.coverage_pct);
+    writer.key("delayed_regular_pct")
+        .value(metrics.delayed_regular_pct);
+    writer.key("mc_reads").value(metrics.mc_reads);
+    writer.key("mc_writes").value(metrics.mc_writes);
+    writer.key("ms_prefetches_issued")
+        .value(metrics.ms_prefetches_issued);
+    writer.key("buffer_hits").value(metrics.buffer_hits);
+    writer.key("lpq_drops").value(metrics.lpq_drops);
+    writer.endObject();
+}
+
+std::string
+toJson(const RunOptions &options)
+{
+    JsonWriter writer;
+    writeJson(writer, options);
+    return writer.str();
+}
+
+std::string
+toJson(const RunMetrics &metrics)
+{
+    JsonWriter writer;
+    writeJson(writer, metrics);
+    return writer.str();
+}
+
+} // namespace asd

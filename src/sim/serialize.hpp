@@ -1,0 +1,45 @@
+#ifndef ASD_SIM_SERIALIZE_HPP
+#define ASD_SIM_SERIALIZE_HPP
+
+/**
+ * @file
+ * Machine-readable views of the experiment layer: enum <-> string
+ * names shared by the CLIs and the sweep runner's job ids, and JSON
+ * serialization of RunOptions / RunMetrics so sweep results can be
+ * consumed by scripts instead of scraped from text tables.
+ */
+
+#include <optional>
+#include <string>
+
+#include "common/json.hpp"
+#include "sim/experiment.hpp"
+
+namespace asd
+{
+
+std::string toString(PrefetchMode mode);
+std::string toString(McPrefetcherKind kind);
+std::string toString(PsKind kind);
+std::string toString(SchedulerKind kind);
+
+/** Case-sensitive inverse of toString(); nullopt on unknown text. */
+std::optional<PrefetchMode> parsePrefetchMode(const std::string &text);
+std::optional<McPrefetcherKind>
+parseMcPrefetcherKind(const std::string &text);
+
+/** Append @p options as one JSON object to @p writer. */
+void writeJson(JsonWriter &writer, const RunOptions &options);
+
+/** Append @p metrics as one JSON object to @p writer. */
+void writeJson(JsonWriter &writer, const RunMetrics &metrics);
+
+/** @return @p options as a standalone JSON document. */
+std::string toJson(const RunOptions &options);
+
+/** @return @p metrics as a standalone JSON document. */
+std::string toJson(const RunMetrics &metrics);
+
+} // namespace asd
+
+#endif // ASD_SIM_SERIALIZE_HPP

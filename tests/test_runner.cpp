@@ -1,0 +1,340 @@
+/**
+ * @file
+ * Sweep-runner subsystem tests: parallel-vs-serial determinism,
+ * structured failure capture, edge cases (empty job list, one
+ * thread, more threads than jobs), the soft timeout, the JSON/CSV
+ * result sinks (records must be parseable), the JSON serialization
+ * helpers, and the hardened ASD_BENCH_SCALE parser.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/json.hpp"
+#include "runner/result_sink.hpp"
+#include "runner/sweep_runner.hpp"
+#include "runner/thread_pool.hpp"
+#include "sim/serialize.hpp"
+
+namespace
+{
+
+using namespace asd;
+
+/** Trace length that keeps one job in the low milliseconds. */
+constexpr std::uint64_t kShortTrace = 2000;
+
+/** The acceptance sweep: 4 benchmarks x the four paper modes. */
+std::vector<JobSpec>
+fourWaySweepJobs()
+{
+    std::vector<JobSpec> jobs;
+    const std::vector<Benchmark> benches = detailedStudyBenchmarks();
+    for (std::size_t b = 0; b < 4; ++b) {
+        for (const PrefetchMode mode :
+             {PrefetchMode::NP, PrefetchMode::PS, PrefetchMode::MS,
+              PrefetchMode::PMS}) {
+            RunOptions options;
+            options.mode = mode;
+            options.accesses = kShortTrace;
+            jobs.push_back(makeJob(benches[b], options));
+        }
+    }
+    return jobs;
+}
+
+std::string
+readFile(const std::filesystem::path &path)
+{
+    std::ifstream in(path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count](unsigned) { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitOnIdlePoolReturns)
+{
+    ThreadPool pool(2);
+    pool.wait(); // no tasks: must not hang
+    EXPECT_EQ(pool.threadCount(), 2u);
+}
+
+TEST(JobId, EncodesVariedFields)
+{
+    const Benchmark &bench = findBenchmark("bwaves");
+    RunOptions options;
+    options.mode = PrefetchMode::MS;
+    options.buffer_lines = 32;
+    const std::string id = makeJobId(bench, options, 7);
+    EXPECT_NE(id.find("bwaves"), std::string::npos);
+    EXPECT_NE(id.find("MS"), std::string::npos);
+    EXPECT_NE(id.find("pb32"), std::string::npos);
+    EXPECT_NE(id.find("seed7"), std::string::npos);
+
+    RunOptions other = options;
+    other.filter_slots = 16;
+    EXPECT_NE(makeJobId(bench, options), makeJobId(bench, other));
+}
+
+TEST(SweepRunner, ParallelMatchesSerialAndWritesJson)
+{
+    const std::vector<JobSpec> jobs = fourWaySweepJobs();
+    ASSERT_EQ(jobs.size(), 16u);
+
+    SweepOptions serial_options;
+    serial_options.threads = 1;
+    const std::vector<JobResult> serial =
+        SweepRunner(serial_options).run(jobs);
+
+    const std::filesystem::path dir = "results/test_runner_sweep";
+    std::filesystem::remove_all(dir);
+    JsonDirSink sink(dir.string());
+    SweepOptions parallel_options;
+    parallel_options.threads = 4;
+    parallel_options.sink = &sink;
+    const std::vector<JobResult> parallel =
+        SweepRunner(parallel_options).run(jobs);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(serial[i].status, JobStatus::Ok) << jobs[i].id;
+        EXPECT_EQ(parallel[i].status, JobStatus::Ok) << jobs[i].id;
+        EXPECT_EQ(serial[i].spec.id, parallel[i].spec.id);
+        // Bit-identical metrics regardless of thread count.
+        EXPECT_TRUE(serial[i].metrics == parallel[i].metrics)
+            << jobs[i].id;
+    }
+
+    // Every record plus the manifest must be valid JSON.
+    const std::string manifest = readFile(dir / "manifest.json");
+    ASSERT_FALSE(manifest.empty());
+    EXPECT_TRUE(jsonParseCheck(manifest));
+    EXPECT_NE(manifest.find("\"jobs\":16"), std::string::npos);
+    EXPECT_NE(manifest.find("\"ok\":16"), std::string::npos);
+    std::size_t records = 0;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir)) {
+        if (entry.path().filename() == "manifest.json")
+            continue;
+        const std::string record = readFile(entry.path());
+        EXPECT_TRUE(jsonParseCheck(record)) << entry.path();
+        EXPECT_NE(record.find("\"cycles\""), std::string::npos);
+        EXPECT_NE(record.find("\"options\""), std::string::npos);
+        ++records;
+    }
+    EXPECT_EQ(records, jobs.size());
+}
+
+TEST(SweepRunner, FailingJobYieldsFailureRecordOthersComplete)
+{
+    std::vector<JobSpec> jobs = fourWaySweepJobs();
+    jobs.resize(4);
+    jobs[1].id = "boomjob";
+    jobs[1].body = [](const JobSpec &) -> RunMetrics {
+        throw std::runtime_error("boom");
+    };
+
+    SweepOptions options;
+    options.threads = 2;
+    const std::vector<JobResult> results =
+        SweepRunner(options).run(jobs);
+
+    ASSERT_EQ(results.size(), 4u);
+    EXPECT_EQ(results[1].status, JobStatus::Failed);
+    EXPECT_NE(results[1].error.find("boom"), std::string::npos);
+    for (const std::size_t i : {0u, 2u, 3u}) {
+        EXPECT_EQ(results[i].status, JobStatus::Ok);
+        EXPECT_GT(results[i].metrics.cycles, 0u);
+    }
+
+    // Failure records serialize with null metrics, still parseable.
+    const std::string record =
+        JsonDirSink::recordJson(results[1]);
+    EXPECT_TRUE(jsonParseCheck(record));
+    EXPECT_NE(record.find("\"status\":\"failed\""),
+              std::string::npos);
+    EXPECT_NE(record.find("\"metrics\":null"), std::string::npos);
+}
+
+TEST(SweepRunner, EmptyJobListFinishesImmediately)
+{
+    SweepOptions options;
+    options.threads = 4;
+    SweepRunner runner(options);
+    const std::vector<JobResult> results = runner.run({});
+    EXPECT_TRUE(results.empty());
+    EXPECT_EQ(runner.lastSummary().jobs, 0u);
+    EXPECT_EQ(runner.lastSummary().failed, 0u);
+}
+
+TEST(SweepRunner, MoreThreadsThanJobs)
+{
+    std::vector<JobSpec> jobs = fourWaySweepJobs();
+    jobs.resize(2);
+    SweepOptions options;
+    options.threads = 16;
+    SweepRunner runner(options);
+    const std::vector<JobResult> results = runner.run(jobs);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].status, JobStatus::Ok);
+    EXPECT_EQ(results[1].status, JobStatus::Ok);
+    // The pool is clamped to the job count.
+    EXPECT_EQ(runner.lastSummary().threads, 2u);
+}
+
+TEST(SweepRunner, SoftTimeoutDowngradesResult)
+{
+    JobSpec job;
+    job.id = "sleeper";
+    job.bench = findBenchmark("bwaves");
+    job.timeout_ms = 1.0;
+    job.body = [](const JobSpec &) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        return RunMetrics{};
+    };
+    const JobResult result = runJob(job);
+    EXPECT_EQ(result.status, JobStatus::TimedOut);
+    EXPECT_NE(result.error.find("timeout"), std::string::npos);
+    EXPECT_GE(result.wall_ms, 1.0);
+}
+
+TEST(SweepRunner, ProgressHookSeesEveryJob)
+{
+    std::vector<JobSpec> jobs = fourWaySweepJobs();
+    jobs.resize(6);
+    std::vector<SweepProgress> snapshots;
+    SweepOptions options;
+    options.threads = 3;
+    options.on_progress = [&snapshots](const SweepProgress &p) {
+        snapshots.push_back(p);
+    };
+    SweepRunner(options).run(jobs);
+    ASSERT_EQ(snapshots.size(), jobs.size());
+    for (std::size_t i = 0; i < snapshots.size(); ++i) {
+        EXPECT_EQ(snapshots[i].done, i + 1);
+        EXPECT_EQ(snapshots[i].total, jobs.size());
+        EXPECT_GE(snapshots[i].eta_ms, 0.0);
+    }
+    EXPECT_EQ(snapshots.back().ok, jobs.size());
+}
+
+TEST(ResultSink, CsvHasOneRowPerJobPlusHeader)
+{
+    std::vector<JobSpec> jobs = fourWaySweepJobs();
+    jobs.resize(3);
+    const std::filesystem::path path =
+        "results/test_runner_sweep.csv";
+    std::filesystem::remove(path);
+    {
+        CsvSink sink(path.string());
+        SweepOptions options;
+        options.threads = 2;
+        options.sink = &sink;
+        SweepRunner(options).run(jobs);
+    }
+    std::ifstream in(path);
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(in, line))
+        if (!line.empty())
+            ++lines;
+    EXPECT_EQ(lines, jobs.size() + 1);
+}
+
+TEST(Serialize, JsonHelpersEmitParseableDocuments)
+{
+    RunOptions options;
+    options.fixed_policy = 3;
+    options.accesses = 12345;
+    const std::string options_json = toJson(options);
+    EXPECT_TRUE(jsonParseCheck(options_json));
+    EXPECT_NE(options_json.find("\"mode\":\"PMS\""),
+              std::string::npos);
+    EXPECT_NE(options_json.find("\"fixed_policy\":3"),
+              std::string::npos);
+
+    RunMetrics metrics;
+    metrics.cycles = 42;
+    metrics.dram_watts = 1.25;
+    const std::string metrics_json = toJson(metrics);
+    EXPECT_TRUE(jsonParseCheck(metrics_json));
+    EXPECT_NE(metrics_json.find("\"cycles\":42"), std::string::npos);
+    EXPECT_NE(metrics_json.find("\"dram_watts\":1.25"),
+              std::string::npos);
+}
+
+TEST(Serialize, EnumRoundTrips)
+{
+    for (const PrefetchMode mode :
+         {PrefetchMode::NP, PrefetchMode::PS, PrefetchMode::MS,
+          PrefetchMode::PMS})
+        EXPECT_EQ(parsePrefetchMode(toString(mode)), mode);
+    for (const McPrefetcherKind kind :
+         {McPrefetcherKind::Asd, McPrefetcherKind::NextLine,
+          McPrefetcherKind::P5Style, McPrefetcherKind::Ghb,
+          McPrefetcherKind::Stride})
+        EXPECT_EQ(parseMcPrefetcherKind(toString(kind)), kind);
+    EXPECT_EQ(parsePrefetchMode("np"), std::nullopt);
+    EXPECT_EQ(parseMcPrefetcherKind("bogus"), std::nullopt);
+}
+
+TEST(Json, WriterAndChecker)
+{
+    JsonWriter writer;
+    writer.beginObject()
+        .key("a")
+        .value(std::uint64_t{1})
+        .key("b")
+        .beginArray()
+        .value("x\"y")
+        .value(true)
+        .null()
+        .value(-2.5)
+        .endArray()
+        .endObject();
+    EXPECT_EQ(writer.str(),
+              "{\"a\":1,\"b\":[\"x\\\"y\",true,null,-2.5]}");
+    EXPECT_TRUE(jsonParseCheck(writer.str()));
+
+    EXPECT_TRUE(jsonParseCheck("[]"));
+    EXPECT_TRUE(jsonParseCheck("  {\"k\": [1, 2.0e-3, \"s\"]} "));
+    EXPECT_FALSE(jsonParseCheck(""));
+    EXPECT_FALSE(jsonParseCheck("{"));
+    EXPECT_FALSE(jsonParseCheck("{\"a\":}"));
+    EXPECT_FALSE(jsonParseCheck("{} trailing"));
+    EXPECT_FALSE(jsonParseCheck("[1,]"));
+    EXPECT_FALSE(jsonParseCheck("nan"));
+}
+
+TEST(BenchScale, RejectsGarbageAndKeepsValidValues)
+{
+    EXPECT_DOUBLE_EQ(parseBenchScale(nullptr), 1.0);
+    EXPECT_DOUBLE_EQ(parseBenchScale(""), 1.0);
+    EXPECT_DOUBLE_EQ(parseBenchScale("0.5"), 0.5);
+    EXPECT_DOUBLE_EQ(parseBenchScale("2"), 2.0);
+    EXPECT_DOUBLE_EQ(parseBenchScale("0"), 1.0);
+    EXPECT_DOUBLE_EQ(parseBenchScale("-3"), 1.0);
+    EXPECT_DOUBLE_EQ(parseBenchScale("abc"), 1.0);
+    EXPECT_DOUBLE_EQ(parseBenchScale("1.5x"), 1.0);
+    EXPECT_DOUBLE_EQ(parseBenchScale("inf"), 1.0);
+    EXPECT_DOUBLE_EQ(parseBenchScale("nan"), 1.0);
+}
+
+} // namespace
