@@ -21,6 +21,7 @@
 #include "common/log.hpp"
 #include "common/table.hpp"
 #include "sim/experiment.hpp"
+#include "sim/serialize.hpp"
 
 namespace
 {
@@ -54,6 +55,15 @@ usage()
         "  --degree N             max prefetch degree (default 1)\n"
         "  --saturate             keep prefetching streams beyond Lm\n"
         "  --ps-oracle            idealized (instant, free) PS fills\n"
+        "  --vm-policy identity|seq|random|huge\n"
+        "                         enable virtual memory with this\n"
+        "                         frame-allocation policy\n"
+        "  --vm-page-bytes N      base page size (default 4096)\n"
+        "  --vm-phys-mb N         physical memory size (default 4096)\n"
+        "  --vm-tlb-entries N     TLB entries (default 64)\n"
+        "  --vm-tlb-ways N        TLB associativity (default 4)\n"
+        "  --vm-walk-cycles N     page-walk stall (default 60)\n"
+        "  --vm-seed N            frame-shuffle seed\n"
         "  --accesses N           trace length override\n"
         "  --smt                  co-run two copies (SMT pair)\n"
         "  --csv                  emit one CSV row instead of a table\n";
@@ -143,6 +153,33 @@ parseArgs(int argc, char **argv)
             args.options.saturate_long_streams = true;
         } else if (tok == "--ps-oracle") {
             args.options.ps_oracle = true;
+        } else if (tok == "--vm-policy") {
+            const std::string v = next();
+            const auto policy = parseFrameAllocPolicy(v);
+            if (!policy)
+                fatal("unknown --vm-policy (use "
+                      "identity|seq|random|huge): " + v);
+            args.options.vm.enabled = true;
+            args.options.vm.policy = *policy;
+        } else if (tok == "--vm-page-bytes") {
+            args.options.vm.page_bytes = static_cast<std::uint64_t>(
+                std::atoll(next().c_str()));
+        } else if (tok == "--vm-phys-mb") {
+            args.options.vm.phys_bytes =
+                static_cast<std::uint64_t>(
+                    std::atoll(next().c_str())) << 20;
+        } else if (tok == "--vm-tlb-entries") {
+            args.options.vm.tlb.entries =
+                static_cast<std::uint32_t>(std::atoi(next().c_str()));
+        } else if (tok == "--vm-tlb-ways") {
+            args.options.vm.tlb.ways =
+                static_cast<std::uint32_t>(std::atoi(next().c_str()));
+        } else if (tok == "--vm-walk-cycles") {
+            args.options.vm.tlb.walk_cycles =
+                static_cast<Cycles>(std::atoll(next().c_str()));
+        } else if (tok == "--vm-seed") {
+            args.options.vm.seed = static_cast<std::uint64_t>(
+                std::atoll(next().c_str()));
         } else if (tok == "--accesses") {
             args.options.accesses = static_cast<std::uint64_t>(
                 std::atoll(next().c_str()));
@@ -193,7 +230,13 @@ main(int argc, char **argv)
                   << Table::num(m.useful_prefetch_pct, 2) << ","
                   << Table::num(m.delayed_regular_pct, 2) << ","
                   << m.ms_prefetches_issued << "," << m.mc_reads << ","
-                  << m.mc_writes << "\n";
+                  << m.mc_writes;
+        if (m.vm_enabled) {
+            std::cout << "," << m.tlb_hits << "," << m.tlb_misses
+                      << "," << m.page_walk_cycles << ","
+                      << m.pages_mapped;
+        }
+        std::cout << "\n";
         return 0;
     }
 
@@ -212,6 +255,13 @@ main(int argc, char **argv)
                   std::to_string(m.ms_prefetches_issued)});
     table.addRow({"mc_reads", std::to_string(m.mc_reads)});
     table.addRow({"mc_writes", std::to_string(m.mc_writes)});
+    if (m.vm_enabled) {
+        table.addRow({"tlb_hits", std::to_string(m.tlb_hits)});
+        table.addRow({"tlb_misses", std::to_string(m.tlb_misses)});
+        table.addRow({"page_walk_cycles",
+                      std::to_string(m.page_walk_cycles)});
+        table.addRow({"pages_mapped", std::to_string(m.pages_mapped)});
+    }
     table.print(std::cout);
     return 0;
 }

@@ -46,6 +46,10 @@ struct CliConfig
     std::vector<std::uint32_t> buffer_lines;
     std::vector<std::uint32_t> filter_slots;
     std::vector<std::uint32_t> degrees;
+
+    /** VM axis: nullopt = VM off for that grid point. */
+    std::vector<std::optional<FrameAllocPolicy>> vm_policies;
+    std::vector<std::uint64_t> vm_page_bytes;
     std::optional<std::uint64_t> accesses;
     std::optional<std::uint64_t> seed;
     unsigned threads = 0;
@@ -71,6 +75,11 @@ usage()
            "(default 16)\n"
            "  --filter-slots LIST Stream Filter sizes (default 8)\n"
            "  --degrees LIST      max prefetch degrees (default 1)\n"
+           "  --vm-policies LIST  off,identity,seq,random,huge "
+           "(default off)\n"
+           "  --vm-page-bytes LIST\n"
+           "                      base page sizes (default 4096; "
+           "ignored for off/huge)\n"
            "  --accesses N        per-benchmark trace-length "
            "override\n"
            "  --seed N            trace-seed override for every job\n"
@@ -168,6 +177,28 @@ parseArgs(int argc, char **argv)
             cli.filter_slots = parseU32List(next(i, arg), arg);
         } else if (arg == "--degrees") {
             cli.degrees = parseU32List(next(i, arg), arg);
+        } else if (arg == "--vm-policies") {
+            for (const std::string &p : splitCommas(next(i, arg))) {
+                if (p == "off") {
+                    cli.vm_policies.push_back(std::nullopt);
+                    continue;
+                }
+                const auto policy = parseFrameAllocPolicy(p);
+                if (!policy)
+                    fatal("unknown VM policy (use "
+                          "off|identity|seq|random|huge): " + p);
+                cli.vm_policies.push_back(*policy);
+            }
+        } else if (arg == "--vm-page-bytes") {
+            for (const std::string &p :
+                 splitCommas(next(i, arg))) {
+                const std::uint64_t v = parseU64(p, arg);
+                if (v < 128 || v > (1ULL << 30))
+                    fatal("out-of-range value for " + arg + ": " + p);
+                cli.vm_page_bytes.push_back(v);
+            }
+            if (cli.vm_page_bytes.empty())
+                fatal("empty list for " + arg);
         } else if (arg == "--accesses") {
             cli.accesses = parseU64(next(i, arg), arg);
         } else if (arg == "--seed") {
@@ -200,6 +231,10 @@ parseArgs(int argc, char **argv)
         cli.filter_slots = {8};
     if (cli.degrees.empty())
         cli.degrees = {1};
+    if (cli.vm_policies.empty())
+        cli.vm_policies = {std::nullopt};
+    if (cli.vm_page_bytes.empty())
+        cli.vm_page_bytes = {4096};
     if (cli.suites.empty() && cli.bench_names.empty())
         cli.suites = {"detailed"};
     return cli;
@@ -248,15 +283,39 @@ buildJobs(const CliConfig &cli)
                 for (const std::uint32_t pb : cli.buffer_lines) {
                     for (const std::uint32_t sf : cli.filter_slots) {
                         for (const std::uint32_t d : cli.degrees) {
-                            RunOptions options;
-                            options.mode = mode;
-                            options.mc_prefetcher = kind;
-                            options.buffer_lines = pb;
-                            options.filter_slots = sf;
-                            options.max_degree = d;
-                            options.accesses = cli.accesses;
-                            jobs.push_back(
-                                makeJob(bench, options, cli.seed));
+                            for (const auto &vm : cli.vm_policies) {
+                                // Page size only matters for enabled
+                                // base-page policies; collapse the
+                                // axis otherwise to avoid duplicate
+                                // jobs.
+                                const bool vary_pages =
+                                    vm && *vm !=
+                                              FrameAllocPolicy::
+                                                  HugePage;
+                                const std::size_t n_pages =
+                                    vary_pages
+                                        ? cli.vm_page_bytes.size()
+                                        : 1;
+                                for (std::size_t pi = 0;
+                                     pi < n_pages; ++pi) {
+                                    RunOptions options;
+                                    options.mode = mode;
+                                    options.mc_prefetcher = kind;
+                                    options.buffer_lines = pb;
+                                    options.filter_slots = sf;
+                                    options.max_degree = d;
+                                    options.accesses = cli.accesses;
+                                    if (vm) {
+                                        options.vm.enabled = true;
+                                        options.vm.policy = *vm;
+                                        if (vary_pages)
+                                            options.vm.page_bytes =
+                                                cli.vm_page_bytes[pi];
+                                    }
+                                    jobs.push_back(makeJob(
+                                        bench, options, cli.seed));
+                                }
+                            }
                         }
                     }
                 }

@@ -9,13 +9,14 @@ namespace asd
 
 TraceCpu::TraceCpu(const CpuConfig &config, TraceSource &trace,
                    CacheHierarchy &hierarchy, CpuPrefetcher *ps,
-                   MemPort &port, std::uint32_t thread)
+                   MemPort &port, std::uint32_t thread, Mmu *mmu)
     : config_(config),
       trace_(trace),
       hierarchy_(hierarchy),
       ps_(ps),
       port_(port),
       thread_(thread),
+      mmu_(mmu),
       mem_loads_(config.mlp),
       store_rfos_(config.store_buffer)
 {
@@ -149,6 +150,8 @@ TraceCpu::tick(Cycle now)
     last_tick_ = now;
 
     if (pending_.valid) {
+        if (now < issue_ready_at_)
+            return; // page walk in flight
         tryIssue(now);
         return;
     }
@@ -169,12 +172,27 @@ TraceCpu::tick(Cycle now)
         return;
     }
     pending_.access = access;
-    pending_.line = access.addr / config_.line_bytes;
+    // Translate before anything downstream sees the address: caches,
+    // controller, and the memory-side prefetcher all operate on
+    // physical lines. A TLB miss holds the access at issue for the
+    // page-walk latency.
+    Addr paddr = access.addr;
+    issue_ready_at_ = now;
+    if (mmu_) {
+        Cycles walk = 0;
+        paddr = mmu_->translate(access.addr, walk);
+        if (walk > 0) {
+            issue_ready_at_ = now + walk;
+            walk_stall_cycles_.inc(walk);
+        }
+    }
+    pending_.line = paddr / config_.line_bytes;
     pending_.valid = true;
     pending_.looked_up = false;
     pending_.needs_memory = false;
     compute_left_ = access.gap;
-    tryIssue(now);
+    if (now >= issue_ready_at_)
+        tryIssue(now);
 }
 
 bool
@@ -193,6 +211,8 @@ TraceCpu::nextEventIn(Cycle now) const
     if (!retry_q_.empty())
         return 1;
     if (pending_.valid) {
+        if (now < issue_ready_at_)
+            return issue_ready_at_ - now; // page walk finishes then
         // Waiting on a memory callback (dependence or MC rejection)?
         if (mem_loads_.inUse() > 0 || store_rfos_.inUse() > 0) {
             if (timed_loads_.empty())
@@ -243,6 +263,9 @@ TraceCpu::registerStats(StatRegistry &registry,
     registry.add(prefix + ".store_stall_cycles", store_stall_cycles_);
     registry.add(prefix + ".dep_stall_cycles", dep_stall_cycles_);
     registry.add(prefix + ".mc_reject_cycles", mc_reject_cycles_);
+    if (mmu_)
+        registry.add(prefix + ".walk_stall_cycles",
+                     walk_stall_cycles_);
 }
 
 } // namespace asd

@@ -24,6 +24,7 @@
 #include "common/types.hpp"
 #include "prefetch/cpu_prefetcher.hpp"
 #include "trace/trace_source.hpp"
+#include "vm/mmu.hpp"
 
 namespace asd
 {
@@ -72,10 +73,14 @@ class TraceCpu
     /**
      * @param ps optional processor-side prefetcher (PS/PMS configs).
      * @param thread this CPU's hardware thread id.
+     * @param mmu optional virtual-memory unit; when present every
+     *        trace address is translated before it touches the
+     *        hierarchy, and TLB misses stall issue by the page-walk
+     *        latency. Null = addresses pass through untranslated.
      */
     TraceCpu(const CpuConfig &config, TraceSource &trace,
              CacheHierarchy &hierarchy, CpuPrefetcher *ps,
-             MemPort &port, std::uint32_t thread);
+             MemPort &port, std::uint32_t thread, Mmu *mmu = nullptr);
 
     /** Advance one cycle. */
     void tick(Cycle now);
@@ -124,11 +129,15 @@ class TraceCpu
     CpuPrefetcher *ps_;
     MemPort &port_;
     std::uint32_t thread_;
+    Mmu *mmu_;
 
     bool trace_done_ = false;
     std::uint64_t compute_left_ = 0; //!< gap instructions remaining
     Cycle last_tick_ = kNoCycle;     //!< for elapsed-time compute burn
     Pending pending_;
+
+    /** Earliest cycle the pending access may issue (TLB-walk stall). */
+    Cycle issue_ready_at_ = 0;
 
     std::vector<Cycle> timed_loads_;  //!< cache-hit completions
     MshrFile mem_loads_;              //!< loads waiting on memory
@@ -151,6 +160,7 @@ class TraceCpu
     Counter store_stall_cycles_;
     Counter dep_stall_cycles_;
     Counter mc_reject_cycles_;
+    Counter walk_stall_cycles_;
 };
 
 } // namespace asd

@@ -43,6 +43,11 @@ makeJobId(const Benchmark &bench, const RunOptions &options,
         id += ".pol" + std::to_string(*options.fixed_policy);
     if (options.saturate_long_streams)
         id += ".sat";
+    if (options.vm.enabled) {
+        id += ".vm_" + toString(options.vm.policy);
+        if (options.vm.policy != FrameAllocPolicy::HugePage)
+            id += "_p" + std::to_string(options.vm.page_bytes);
+    }
     if (options.ps_oracle)
         id += ".oracle";
     if (options.accesses)

@@ -58,6 +58,7 @@ makeSystemConfig(const RunOptions &options)
     config.mc_prefetcher = options.mc_prefetcher;
     config.ps_kind = options.ps_kind;
     config.ps_oracle = options.ps_oracle;
+    config.vm = options.vm;
     config.mc.scheduler = options.scheduler;
     config.asd.buffer_lines = options.buffer_lines;
     config.asd.filter_slots = options.filter_slots;

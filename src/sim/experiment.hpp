@@ -42,6 +42,9 @@ struct RunOptions
 
     /** Override the benchmark's trace length. */
     std::optional<std::uint64_t> accesses;
+
+    /** Virtual-memory layer (off by default => seed-identical). */
+    VmConfig vm;
 };
 
 /** The paper's default machine for @p options. */

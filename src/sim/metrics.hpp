@@ -51,6 +51,14 @@ struct RunMetrics
     std::uint64_t buffer_hits = 0;
     std::uint64_t lpq_drops = 0;
 
+    // --- virtual-memory layer (all zero when VM is disabled) ---
+    bool vm_enabled = false;
+    std::uint64_t tlb_hits = 0;
+    std::uint64_t tlb_misses = 0;
+    std::uint64_t tlb_evictions = 0;
+    std::uint64_t page_walk_cycles = 0;
+    std::uint64_t pages_mapped = 0;
+
     /**
      * Exact (bit-level for the doubles) comparison. The simulator is
      * deterministic, so two runs of the same configuration must agree

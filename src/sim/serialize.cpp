@@ -67,6 +67,36 @@ toString(SchedulerKind kind)
     panic("unhandled SchedulerKind");
 }
 
+std::string
+toString(FrameAllocPolicy policy)
+{
+    switch (policy) {
+    case FrameAllocPolicy::Identity:
+        return "identity";
+    case FrameAllocPolicy::Sequential:
+        return "seq";
+    case FrameAllocPolicy::RandomShuffle:
+        return "random";
+    case FrameAllocPolicy::HugePage:
+        return "huge";
+    }
+    panic("unhandled FrameAllocPolicy");
+}
+
+std::optional<FrameAllocPolicy>
+parseFrameAllocPolicy(const std::string &text)
+{
+    if (text == "identity")
+        return FrameAllocPolicy::Identity;
+    if (text == "seq")
+        return FrameAllocPolicy::Sequential;
+    if (text == "random")
+        return FrameAllocPolicy::RandomShuffle;
+    if (text == "huge")
+        return FrameAllocPolicy::HugePage;
+    return std::nullopt;
+}
+
 std::optional<PrefetchMode>
 parsePrefetchMode(const std::string &text)
 {
@@ -121,6 +151,17 @@ writeJson(JsonWriter &writer, const RunOptions &options)
         writer.value(*options.accesses);
     else
         writer.null();
+    writer.key("vm").beginObject();
+    writer.key("enabled").value(options.vm.enabled);
+    writer.key("policy").value(toString(options.vm.policy));
+    writer.key("page_bytes").value(options.vm.page_bytes);
+    writer.key("huge_bytes").value(options.vm.huge_bytes);
+    writer.key("phys_bytes").value(options.vm.phys_bytes);
+    writer.key("seed").value(options.vm.seed);
+    writer.key("tlb_entries").value(options.vm.tlb.entries);
+    writer.key("tlb_ways").value(options.vm.tlb.ways);
+    writer.key("walk_cycles").value(options.vm.tlb.walk_cycles);
+    writer.endObject();
     writer.endObject();
 }
 
@@ -151,6 +192,14 @@ writeJson(JsonWriter &writer, const RunMetrics &metrics)
         .value(metrics.ms_prefetches_issued);
     writer.key("buffer_hits").value(metrics.buffer_hits);
     writer.key("lpq_drops").value(metrics.lpq_drops);
+    writer.key("vm").beginObject();
+    writer.key("enabled").value(metrics.vm_enabled);
+    writer.key("tlb_hits").value(metrics.tlb_hits);
+    writer.key("tlb_misses").value(metrics.tlb_misses);
+    writer.key("tlb_evictions").value(metrics.tlb_evictions);
+    writer.key("page_walk_cycles").value(metrics.page_walk_cycles);
+    writer.key("pages_mapped").value(metrics.pages_mapped);
+    writer.endObject();
     writer.endObject();
 }
 

@@ -83,7 +83,18 @@ System::System(const SystemConfig &config,
         }
     }
 
+    if (config_.vm.enabled)
+        frames_ = std::make_unique<FrameAllocator>(config_.vm);
+
     for (std::uint32_t t = 0; t < threads; ++t) {
+        Mmu *mmu = nullptr;
+        if (frames_) {
+            mmus_.push_back(std::make_unique<Mmu>(config_.vm,
+                                                  *frames_, t));
+            mmu = mmus_.back().get();
+            mmu->registerStats(registry_,
+                               "vm.t" + std::to_string(t));
+        }
         CpuPrefetcher *ps = nullptr;
         if (config_.hasPs()) {
             if (config_.ps_kind == PsKind::Asd) {
@@ -98,11 +109,13 @@ System::System(const SystemConfig &config,
                               "ps.t" + std::to_string(t));
         }
         cpus_.push_back(std::make_unique<TraceCpu>(
-            config_.cpu, *traces[t], hierarchy_, ps, *this, t));
+            config_.cpu, *traces[t], hierarchy_, ps, *this, t, mmu));
         cpus_.back()->registerStats(registry_,
                                     "cpu.t" + std::to_string(t));
     }
 
+    if (frames_)
+        frames_->registerStats(registry_, "vm");
     dram_.registerStats(registry_);
     mc_.registerStats(registry_, "mc");
     hierarchy_.registerStats(registry_, "cache");
@@ -264,6 +277,15 @@ System::run()
     metrics.dram_watts =
         metrics.power.averageWatts(now_, config_.cpu_hz);
     metrics.dram_energy_mj = metrics.power.totalPj() * 1e-9;
+
+    metrics.vm_enabled = !mmus_.empty();
+    for (const auto &mmu : mmus_) {
+        metrics.tlb_hits += mmu->tlb().hits();
+        metrics.tlb_misses += mmu->tlb().misses();
+        metrics.tlb_evictions += mmu->tlb().evictions();
+        metrics.page_walk_cycles += mmu->walkCycles();
+        metrics.pages_mapped += mmu->pageTable().pagesMapped();
+    }
 
     metrics.mc_reads = mc_.readsObserved();
     metrics.mc_writes = mc_.writesObserved();

@@ -26,6 +26,7 @@
 #include "prefetch/ps_prefetcher.hpp"
 #include "sim/metrics.hpp"
 #include "sim/system_config.hpp"
+#include "vm/mmu.hpp"
 
 namespace asd
 {
@@ -68,6 +69,12 @@ class System : public MemPort
     AsdPrefetcher *asd() { return asd_.get(); }
     const AsdPrefetcher *asd() const { return asd_.get(); }
 
+    /** Thread @p t's MMU; null when the VM layer is disabled. */
+    const Mmu *mmu(std::uint32_t t) const
+    {
+        return t < mmus_.size() ? mmus_[t].get() : nullptr;
+    }
+
     Cycle nowCycle() const { return now_; }
 
   private:
@@ -86,6 +93,11 @@ class System : public MemPort
     const PrefetchBuffer *buffer_ = nullptr; //!< whichever is active
 
     std::vector<std::unique_ptr<CpuPrefetcher>> ps_;
+
+    /** Shared frame pool + per-thread MMUs (VM enabled only). */
+    std::unique_ptr<FrameAllocator> frames_;
+    std::vector<std::unique_ptr<Mmu>> mmus_;
+
     std::vector<std::unique_ptr<TraceCpu>> cpus_;
 
     std::deque<LineAddr> pending_writebacks_;

@@ -19,6 +19,7 @@
 #include "prefetch/ghb_prefetcher.hpp"
 #include "prefetch/stride_prefetcher.hpp"
 #include "prefetch/ps_prefetcher.hpp"
+#include "vm/vm_config.hpp"
 
 namespace asd
 {
@@ -58,6 +59,15 @@ struct SystemConfig
     PsKind ps_kind = PsKind::Power5;
 
     CpuConfig cpu;
+
+    /**
+     * Virtual-memory layer (page table + TLB + frame allocator).
+     * Disabled by default: trace addresses reach the hierarchy
+     * untranslated and results are bit-identical to a machine without
+     * the layer.
+     */
+    VmConfig vm;
+
     HierarchyConfig hierarchy;
     DramConfig dram;
     McConfig mc;

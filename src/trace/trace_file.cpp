@@ -13,6 +13,15 @@ namespace
 
 constexpr std::array<char, 4> kMagic = {'A', 'S', 'D', 'T'};
 
+/** Bytes per packed record: u64 addr + u32 gap + u8 flags. */
+constexpr std::size_t kRecordBytes = 8 + 4 + 1;
+
+/** Bytes before the first record: magic + u32 version + u64 count. */
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8;
+
+/** Records decoded per fread in streamed mode. */
+constexpr std::size_t kStreamChunk = 4096;
+
 struct FileCloser
 {
     void
@@ -69,6 +78,59 @@ getU64(std::FILE *f)
     return v;
 }
 
+/** Decode one packed record from @p buf (kRecordBytes long). */
+MemAccess
+decodeRecord(const unsigned char *buf)
+{
+    MemAccess acc;
+    acc.addr = 0;
+    for (int i = 0; i < 8; ++i)
+        acc.addr |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+    acc.gap = 0;
+    for (int i = 0; i < 4; ++i)
+        acc.gap |= static_cast<std::uint32_t>(buf[8 + i]) << (8 * i);
+    const unsigned char flags = buf[12];
+    acc.op = (flags & 1u) ? MemOp::Write : MemOp::Read;
+    acc.dependent = (flags & 2u) != 0;
+    return acc;
+}
+
+/**
+ * Validate magic, version, and the header's record count against the
+ * actual file size; leaves @p f positioned at the first record.
+ * @return the record count.
+ */
+std::uint64_t
+readHeader(std::FILE *f, const std::string &path)
+{
+    std::array<char, 4> magic{};
+    if (std::fread(magic.data(), 1, magic.size(), f) != magic.size())
+        fatal("trace file: truncated header: " + path);
+    if (magic != kMagic)
+        fatal("trace file: bad magic: " + path);
+    const std::uint32_t version = getU32(f);
+    if (version != kTraceFormatVersion)
+        fatal("trace file: unsupported version: " + path);
+    const std::uint64_t count = getU64(f);
+
+    if (std::fseek(f, 0, SEEK_END) != 0)
+        fatal("trace file: cannot seek: " + path);
+    const long actual = std::ftell(f);
+    if (actual < 0)
+        fatal("trace file: cannot determine size: " + path);
+    const std::uint64_t expected =
+        kHeaderBytes + count * kRecordBytes;
+    if (static_cast<std::uint64_t>(actual) != expected) {
+        fatal("trace file: header claims " + std::to_string(count) +
+              " records (" + std::to_string(expected) +
+              " bytes) but file is " + std::to_string(actual) +
+              " bytes — truncated or corrupt: " + path);
+    }
+    if (std::fseek(f, static_cast<long>(kHeaderBytes), SEEK_SET) != 0)
+        fatal("trace file: cannot seek: " + path);
+    return count;
+}
+
 } // namespace
 
 void
@@ -101,44 +163,81 @@ readTraceFile(const std::string &path)
     FilePtr f(std::fopen(path.c_str(), "rb"));
     if (!f)
         fatal("cannot open trace file: " + path);
-    std::array<char, 4> magic{};
-    if (std::fread(magic.data(), 1, magic.size(), f.get()) != magic.size())
-        fatal("trace file: truncated header: " + path);
-    if (magic != kMagic)
-        fatal("trace file: bad magic: " + path);
-    const std::uint32_t version = getU32(f.get());
-    if (version != kTraceFormatVersion)
-        fatal("trace file: unsupported version: " + path);
-    const std::uint64_t count = getU64(f.get());
+    const std::uint64_t count = readHeader(f.get(), path);
 
     std::vector<MemAccess> out;
     out.reserve(count);
+    unsigned char buf[kRecordBytes];
     for (std::uint64_t i = 0; i < count; ++i) {
-        MemAccess acc;
-        acc.addr = getU64(f.get());
-        acc.gap = getU32(f.get());
-        unsigned char flags = 0;
-        if (std::fread(&flags, 1, 1, f.get()) != 1)
-            fatal("trace file: truncated record");
-        acc.op = (flags & 1u) ? MemOp::Write : MemOp::Read;
-        acc.dependent = (flags & 2u) != 0;
-        out.push_back(acc);
+        if (std::fread(buf, 1, sizeof(buf), f.get()) != sizeof(buf))
+            fatal("trace file: truncated record: " + path);
+        out.push_back(decodeRecord(buf));
     }
     return out;
 }
 
-FileTraceSource::FileTraceSource(const std::string &path)
-    : accesses_(readTraceFile(path))
+FileTraceSource::FileTraceSource(const std::string &path,
+                                 TraceReadMode mode)
+    : mode_(mode), path_(path)
 {
+    if (mode_ == TraceReadMode::Eager) {
+        accesses_ = readTraceFile(path);
+        total_ = accesses_.size();
+        return;
+    }
+    file_ = std::fopen(path.c_str(), "rb");
+    if (!file_)
+        fatal("cannot open trace file: " + path);
+    total_ = readHeader(file_, path);
+    accesses_.reserve(kStreamChunk);
+}
+
+FileTraceSource::~FileTraceSource()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+FileTraceSource::refill()
+{
+    const std::size_t want =
+        std::min(kStreamChunk, total_ - consumed_);
+    std::vector<unsigned char> raw(want * kRecordBytes);
+    if (std::fread(raw.data(), 1, raw.size(), file_) != raw.size())
+        fatal("trace file: truncated record: " + path_);
+    accesses_.clear();
+    for (std::size_t i = 0; i < want; ++i)
+        accesses_.push_back(decodeRecord(&raw[i * kRecordBytes]));
+    consumed_ += want;
+    pos_ = 0;
 }
 
 bool
 FileTraceSource::next(MemAccess &out)
 {
-    if (pos_ >= accesses_.size())
-        return false;
+    if (pos_ >= accesses_.size()) {
+        if (mode_ == TraceReadMode::Eager || consumed_ >= total_)
+            return false;
+        refill();
+        if (accesses_.empty())
+            return false;
+    }
     out = accesses_[pos_++];
     return true;
+}
+
+void
+FileTraceSource::reset()
+{
+    pos_ = 0;
+    if (mode_ == TraceReadMode::Streamed) {
+        accesses_.clear();
+        consumed_ = 0;
+        if (std::fseek(file_, static_cast<long>(kHeaderBytes),
+                       SEEK_SET) != 0)
+            fatal("trace file: cannot seek: " + path_);
+    }
 }
 
 } // namespace asd

@@ -9,6 +9,10 @@
  * Layout: 16-byte header ("ASDT", u32 version, u64 record count)
  * followed by packed records of {u64 addr, u32 gap, u8 flags}.
  * Flags: bit 0 = write, bit 1 = dependent.
+ *
+ * The header's record count is validated against the actual file
+ * size on open, so truncated or corrupt traces fail with a clear
+ * message instead of feeding garbage into a simulation.
  */
 
 #include <cstdio>
@@ -31,20 +35,53 @@ void writeTraceFile(const std::string &path,
 /** Read a whole trace file; fatal() on I/O or format errors. */
 std::vector<MemAccess> readTraceFile(const std::string &path);
 
-/** TraceSource streaming from a trace file loaded into memory. */
+/** How FileTraceSource holds the trace. */
+enum class TraceReadMode : std::uint8_t
+{
+    /** Load the whole file into memory up front (default). */
+    Eager,
+
+    /**
+     * Keep the file open and decode records through a fixed-size
+     * buffer, so multi-GB traces never have to be materialized.
+     * Produces exactly the access sequence of the eager mode
+     * (tested).
+     */
+    Streamed,
+};
+
+/** TraceSource over a binary trace file. */
 class FileTraceSource : public TraceSource
 {
   public:
-    explicit FileTraceSource(const std::string &path);
+    explicit FileTraceSource(const std::string &path,
+                             TraceReadMode mode = TraceReadMode::Eager);
+    ~FileTraceSource() override;
+
+    FileTraceSource(const FileTraceSource &) = delete;
+    FileTraceSource &operator=(const FileTraceSource &) = delete;
 
     bool next(MemAccess &out) override;
-    void reset() override { pos_ = 0; }
+    void reset() override;
 
-    std::size_t size() const { return accesses_.size(); }
+    /** Total records in the trace (both modes). */
+    std::size_t size() const { return total_; }
 
   private:
+    void refill();
+
+    TraceReadMode mode_;
+    std::string path_;
+    std::size_t total_ = 0;
+
+    // Eager state: the whole trace.
+    // Streamed state: the current buffered chunk.
     std::vector<MemAccess> accesses_;
-    std::size_t pos_ = 0;
+    std::size_t pos_ = 0; //!< index into accesses_
+
+    // Streamed-only state.
+    std::FILE *file_ = nullptr;
+    std::size_t consumed_ = 0; //!< records decoded from the file
 };
 
 } // namespace asd

@@ -1,0 +1,43 @@
+#include "vm/mmu.hpp"
+
+#include "common/log.hpp"
+
+namespace asd
+{
+
+Mmu::Mmu(const VmConfig &config, FrameAllocator &allocator,
+         std::uint32_t thread)
+    : config_(config),
+      page_bytes_(config.pageBytes()),
+      table_(allocator, thread),
+      tlb_(config.tlb)
+{
+    panicIfNot(page_bytes_ > 0, "vm: zero translation granule");
+}
+
+Addr
+Mmu::translate(Addr vaddr, Cycles &walk_cycles)
+{
+    const std::uint64_t vpn = vaddr / page_bytes_;
+    const Addr offset = vaddr % page_bytes_;
+    if (const auto pfn = tlb_.lookup(vpn)) {
+        walk_cycles = 0;
+        return *pfn * page_bytes_ + offset;
+    }
+    const std::uint64_t pfn = table_.translate(vpn);
+    tlb_.insert(vpn, pfn);
+    walk_cycles = config_.tlb.walk_cycles;
+    walk_cycles_.inc(walk_cycles);
+    return pfn * page_bytes_ + offset;
+}
+
+void
+Mmu::registerStats(StatRegistry &registry,
+                   const std::string &prefix) const
+{
+    tlb_.registerStats(registry, prefix + ".tlb");
+    table_.registerStats(registry, prefix);
+    registry.add(prefix + ".walk_cycles", walk_cycles_);
+}
+
+} // namespace asd

@@ -1,0 +1,58 @@
+#ifndef ASD_VM_MMU_HPP
+#define ASD_VM_MMU_HPP
+
+/**
+ * @file
+ * One hardware thread's view of the virtual-memory layer: a private
+ * page table and TLB over the machine's shared frame allocator. The
+ * trace CPU calls translate() on every access's virtual byte address
+ * and receives the physical address plus the page-walk stall to
+ * charge — everything downstream (caches, memory controller, ASD)
+ * then operates purely on physical addresses.
+ */
+
+#include <cstdint>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "vm/page_table.hpp"
+#include "vm/tlb.hpp"
+
+namespace asd
+{
+
+/** Memory-management unit for one hardware thread. */
+class Mmu
+{
+  public:
+    /** @param allocator shared frame pool; must outlive the Mmu. */
+    Mmu(const VmConfig &config, FrameAllocator &allocator,
+        std::uint32_t thread);
+
+    /**
+     * Translate virtual byte address @p vaddr.
+     * @param walk_cycles set to the page-walk stall (0 on a TLB hit).
+     * @return the physical byte address.
+     */
+    Addr translate(Addr vaddr, Cycles &walk_cycles);
+
+    const Tlb &tlb() const { return tlb_; }
+    const PageTable &pageTable() const { return table_; }
+
+    /** Total page-walk cycles charged so far. */
+    std::uint64_t walkCycles() const { return walk_cycles_.value(); }
+
+    void registerStats(StatRegistry &registry,
+                       const std::string &prefix) const;
+
+  private:
+    VmConfig config_;
+    std::uint64_t page_bytes_; //!< translation granule
+    PageTable table_;
+    Tlb tlb_;
+    Counter walk_cycles_;
+};
+
+} // namespace asd
+
+#endif // ASD_VM_MMU_HPP

@@ -1,0 +1,30 @@
+#include "vm/page_table.hpp"
+
+namespace asd
+{
+
+PageTable::PageTable(FrameAllocator &allocator, std::uint32_t thread)
+    : allocator_(allocator), thread_(thread)
+{
+}
+
+std::uint64_t
+PageTable::translate(std::uint64_t vpn)
+{
+    const auto it = map_.find(vpn);
+    if (it != map_.end())
+        return it->second;
+    const std::uint64_t pfn = allocator_.allocate(vpn, thread_);
+    map_.emplace(vpn, pfn);
+    pages_mapped_.inc();
+    return pfn;
+}
+
+void
+PageTable::registerStats(StatRegistry &registry,
+                         const std::string &prefix) const
+{
+    registry.add(prefix + ".pages_mapped", pages_mapped_);
+}
+
+} // namespace asd

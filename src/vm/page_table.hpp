@@ -1,0 +1,50 @@
+#ifndef ASD_VM_PAGE_TABLE_HPP
+#define ASD_VM_PAGE_TABLE_HPP
+
+/**
+ * @file
+ * Per-thread on-demand page table: virtual page number -> physical
+ * frame number, populated at first touch by a (shared) FrameAllocator.
+ * Only the mapping is modeled — the simulator never walks a radix
+ * tree; the walk's *cost* is charged by the TLB's miss latency.
+ */
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/stats.hpp"
+#include "vm/frame_allocator.hpp"
+
+namespace asd
+{
+
+/** Lazily populated single-level mapping for one address space. */
+class PageTable
+{
+  public:
+    /** @param allocator shared frame pool; must outlive the table. */
+    PageTable(FrameAllocator &allocator, std::uint32_t thread);
+
+    /**
+     * Frame for virtual page @p vpn, allocating on first touch.
+     * Identical (vpn, existing-mapping) queries always return the
+     * same frame — mappings are never revoked.
+     */
+    std::uint64_t translate(std::uint64_t vpn);
+
+    /** Distinct pages mapped so far. */
+    std::uint64_t pagesMapped() const { return pages_mapped_.value(); }
+
+    void registerStats(StatRegistry &registry,
+                       const std::string &prefix) const;
+
+  private:
+    FrameAllocator &allocator_;
+    std::uint32_t thread_;
+    std::unordered_map<std::uint64_t, std::uint64_t> map_;
+    Counter pages_mapped_;
+};
+
+} // namespace asd
+
+#endif // ASD_VM_PAGE_TABLE_HPP

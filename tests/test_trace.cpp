@@ -7,6 +7,7 @@
  */
 
 #include <cstdio>
+#include <filesystem>
 #include <map>
 #include <string>
 
@@ -289,6 +290,65 @@ TEST(TraceFile, FileSourceStreams)
     source.reset();
     EXPECT_TRUE(source.next(access));
     EXPECT_EQ(access.addr, 1u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, TruncatedFileFailsClearly)
+{
+    std::vector<MemAccess> accesses(100);
+    for (std::size_t i = 0; i < accesses.size(); ++i)
+        accesses[i].addr = i;
+    const std::string path = "/tmp/asd_trace_trunc.bin";
+    writeTraceFile(path, accesses);
+    // Chop off the last few bytes: header still claims 100 records.
+    const auto full = std::filesystem::file_size(path);
+    std::filesystem::resize_file(path, full - 7);
+    EXPECT_EXIT(readTraceFile(path), testing::ExitedWithCode(1),
+                "truncated or corrupt");
+    EXPECT_EXIT(FileTraceSource(path, TraceReadMode::Streamed),
+                testing::ExitedWithCode(1), "truncated or corrupt");
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, StreamedMatchesEager)
+{
+    // More records than one streamed chunk (4096) so refill() runs
+    // several times, with a non-chunk-aligned tail.
+    std::vector<MemAccess> accesses;
+    for (std::uint64_t i = 0; i < 10007; ++i) {
+        MemAccess access;
+        access.addr = i * 64 + (i % 7) * 1024;
+        access.gap = static_cast<std::uint32_t>(i % 11);
+        access.op = i % 4 == 0 ? MemOp::Write : MemOp::Read;
+        access.dependent = i % 6 == 0 && access.op == MemOp::Read;
+        accesses.push_back(access);
+    }
+    const std::string path = "/tmp/asd_trace_streamed.bin";
+    writeTraceFile(path, accesses);
+
+    FileTraceSource eager(path, TraceReadMode::Eager);
+    FileTraceSource streamed(path, TraceReadMode::Streamed);
+    EXPECT_EQ(eager.size(), accesses.size());
+    EXPECT_EQ(streamed.size(), accesses.size());
+
+    MemAccess a;
+    MemAccess b;
+    std::uint64_t count = 0;
+    while (eager.next(a)) {
+        ASSERT_TRUE(streamed.next(b));
+        ASSERT_EQ(a.addr, b.addr);
+        ASSERT_EQ(a.gap, b.gap);
+        ASSERT_EQ(a.op, b.op);
+        ASSERT_EQ(a.dependent, b.dependent);
+        ++count;
+    }
+    EXPECT_FALSE(streamed.next(b));
+    EXPECT_EQ(count, accesses.size());
+
+    // reset() must rewind the streamed source to the first record.
+    streamed.reset();
+    ASSERT_TRUE(streamed.next(b));
+    EXPECT_EQ(b.addr, accesses[0].addr);
     std::remove(path.c_str());
 }
 
