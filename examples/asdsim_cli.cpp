@@ -22,6 +22,7 @@
 #include "common/table.hpp"
 #include "sim/experiment.hpp"
 #include "sim/serialize.hpp"
+#include "telemetry/sinks.hpp"
 
 namespace
 {
@@ -35,6 +36,9 @@ struct CliArgs
     bool csv = false;
     bool smt = false;
     bool list = false;
+    std::string telemetry_csv;   //!< per-epoch CSV path (empty = off)
+    std::string telemetry_json;  //!< JSON time-series path
+    std::string telemetry_trace; //!< Chrome trace-event path
 };
 
 [[noreturn]] void
@@ -66,7 +70,13 @@ usage()
         "  --vm-seed N            frame-shuffle seed\n"
         "  --accesses N           trace length override\n"
         "  --smt                  co-run two copies (SMT pair)\n"
-        "  --csv                  emit one CSV row instead of a table\n";
+        "  --csv                  emit one CSV row instead of a table\n"
+        "  --telemetry-csv PATH   write per-epoch telemetry CSV\n"
+        "  --telemetry-json PATH  write per-epoch telemetry JSON\n"
+        "  --telemetry-trace PATH write chrome://tracing JSON\n"
+        "  --telemetry-max-epochs N\n"
+        "                         cap the recorded epochs (0 = all)\n"
+        "  --telemetry-no-slh     omit per-thread SLH snapshots\n";
     std::exit(0);
 }
 
@@ -187,6 +197,20 @@ parseArgs(int argc, char **argv)
             args.smt = true;
         } else if (tok == "--csv") {
             args.csv = true;
+        } else if (tok == "--telemetry-csv") {
+            args.telemetry_csv = next();
+            args.options.telemetry.enabled = true;
+        } else if (tok == "--telemetry-json") {
+            args.telemetry_json = next();
+            args.options.telemetry.enabled = true;
+        } else if (tok == "--telemetry-trace") {
+            args.telemetry_trace = next();
+            args.options.telemetry.enabled = true;
+        } else if (tok == "--telemetry-max-epochs") {
+            args.options.telemetry.max_epochs =
+                static_cast<std::size_t>(std::atoll(next().c_str()));
+        } else if (tok == "--telemetry-no-slh") {
+            args.options.telemetry.capture_slh = false;
         } else {
             fatal("unknown argument: " + tok + " (try --help)");
         }
@@ -218,9 +242,21 @@ main(int argc, char **argv)
     }
 
     const Benchmark &bench = findBenchmark(args.bench);
+    std::vector<EpochRecord> epochs;
     const RunMetrics m =
-        args.smt ? runSmtPair(bench, bench, args.options)
-                 : runBenchmark(bench, args.options);
+        args.smt ? runSmtPair(bench, bench, args.options, &epochs)
+                 : runBenchmark(bench, args.options, &epochs);
+
+    if (args.options.telemetry.enabled) {
+        if (epochs.empty())
+            warn("telemetry enabled but no epochs were recorded");
+        if (!args.telemetry_csv.empty())
+            saveTelemetryCsv(epochs, args.telemetry_csv);
+        if (!args.telemetry_json.empty())
+            saveTelemetryJson(epochs, args.telemetry_json);
+        if (!args.telemetry_trace.empty())
+            saveTelemetryChromeTrace(epochs, args.telemetry_trace);
+    }
 
     if (args.csv) {
         std::cout << args.bench << "," << m.cycles << ","

@@ -31,6 +31,7 @@
 #include "runner/sweep_runner.hpp"
 #include "runner/thread_pool.hpp"
 #include "sim/serialize.hpp"
+#include "telemetry/sinks.hpp"
 
 namespace
 {
@@ -57,6 +58,7 @@ struct CliConfig
     std::string out_dir = "results/sweep";
     bool csv = false;
     bool quiet = false;
+    bool telemetry = false;
 };
 
 void
@@ -89,6 +91,8 @@ usage()
            "  --out DIR           result directory "
            "(default results/sweep)\n"
            "  --csv               also write <out>/sweep.csv\n"
+           "  --telemetry         per-epoch telemetry per job under\n"
+           "                      <out>/telemetry/ (ASD jobs only)\n"
            "  --quiet             no progress line\n";
 }
 
@@ -213,6 +217,8 @@ parseArgs(int argc, char **argv)
             cli.out_dir = next(i, arg);
         } else if (arg == "--csv") {
             cli.csv = true;
+        } else if (arg == "--telemetry") {
+            cli.telemetry = true;
         } else if (arg == "--quiet") {
             cli.quiet = true;
         } else {
@@ -273,6 +279,28 @@ selectBenchmarks(const CliConfig &cli)
     return benches;
 }
 
+/**
+ * Give @p job a custom body that mirrors the default one (seed
+ * override + runBenchmark) but also captures the per-epoch telemetry
+ * and writes it as <out>/telemetry/<id>.csv and <id>.trace.json.
+ */
+void
+attachTelemetryBody(JobSpec &job, const std::string &out_dir)
+{
+    const std::string stem = out_dir + "/telemetry/" + job.id;
+    job.body = [stem](const JobSpec &spec) {
+        Benchmark bench = spec.bench;
+        if (spec.seed)
+            bench.trace.seed = *spec.seed;
+        std::vector<EpochRecord> epochs;
+        const RunMetrics metrics =
+            runBenchmark(bench, spec.options, &epochs);
+        saveTelemetryCsv(epochs, stem + ".csv");
+        saveTelemetryChromeTrace(epochs, stem + ".trace.json");
+        return metrics;
+    };
+}
+
 std::vector<JobSpec>
 buildJobs(const CliConfig &cli)
 {
@@ -312,8 +340,18 @@ buildJobs(const CliConfig &cli)
                                             options.vm.page_bytes =
                                                 cli.vm_page_bytes[pi];
                                     }
-                                    jobs.push_back(makeJob(
-                                        bench, options, cli.seed));
+                                    if (cli.telemetry &&
+                                        kind ==
+                                            McPrefetcherKind::Asd) {
+                                        options.telemetry.enabled =
+                                            true;
+                                    }
+                                    JobSpec job = makeJob(
+                                        bench, options, cli.seed);
+                                    if (job.options.telemetry.enabled)
+                                        attachTelemetryBody(
+                                            job, cli.out_dir);
+                                    jobs.push_back(std::move(job));
                                 }
                             }
                         }

@@ -116,6 +116,16 @@ SetAssocCache::invalidate(LineAddr line)
     return Eviction{way->line, way->dirty, way->prefetched};
 }
 
+std::uint64_t
+SetAssocCache::validLines() const
+{
+    std::uint64_t count = 0;
+    for (const Way &way : ways_)
+        if (way.valid)
+            ++count;
+    return count;
+}
+
 void
 SetAssocCache::registerStats(StatRegistry &registry,
                              const std::string &prefix) const

@@ -88,6 +88,9 @@ class SetAssocCache
     std::uint64_t misses() const { return misses_.value(); }
     std::uint64_t prefetchHits() const { return prefetch_hits_.value(); }
 
+    /** Valid lines right now (O(capacity) scan; checks/telemetry). */
+    std::uint64_t validLines() const;
+
     const CacheConfig &config() const { return config_; }
 
   private:

@@ -1,0 +1,45 @@
+#include "common/check.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+
+namespace asd
+{
+
+namespace
+{
+
+bool
+initialChecks()
+{
+#ifdef ASD_CHECK_DEFAULT_ON
+    return true;
+#else
+    const char *env = std::getenv("ASD_CHECK");
+    return env && *env != '\0' && std::string_view(env) != "0";
+#endif
+}
+
+std::atomic<bool> &
+checksFlag()
+{
+    static std::atomic<bool> flag{initialChecks()};
+    return flag;
+}
+
+} // namespace
+
+bool
+checksEnabled()
+{
+    return checksFlag().load(std::memory_order_relaxed);
+}
+
+bool
+setChecksEnabled(bool on)
+{
+    return checksFlag().exchange(on, std::memory_order_relaxed);
+}
+
+} // namespace asd

@@ -38,6 +38,16 @@ class AdaptiveScheduler
     /** Conflicts recorded in the current (unfinished) epoch. */
     std::uint32_t epochConflicts() const { return epoch_conflicts_; }
 
+    /**
+     * Lifetime conflict count. epochEnd() zeroes epochConflicts(), so
+     * per-epoch consumers sampling *after* the boundary (the telemetry
+     * recorder) take deltas of this instead.
+     */
+    std::uint64_t totalConflicts() const
+    {
+        return total_conflicts_.value();
+    }
+
     void registerStats(StatRegistry &registry,
                        const std::string &prefix) const;
 

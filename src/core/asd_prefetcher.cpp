@@ -109,6 +109,12 @@ AsdPrefetcher::observeRead(LineAddr line, std::uint32_t thread,
         break; // lifetime refreshed; no new information
       case StreamObservation::Kind::Allocated:
       case StreamObservation::Kind::Extended:
+        // Convergence: the read extended one stream onto another live
+        // slot's last line; the retired slot's stream is dead.
+        if (obs.converged) {
+            stream_merges_.inc();
+            streamDied(state, obs.converged_stream);
+        }
         decide(state, obs, line, out);
         break;
     }
@@ -121,7 +127,6 @@ AsdPrefetcher::observeRead(LineAddr line, std::uint32_t thread,
 void
 AsdPrefetcher::endEpoch(Cycle now)
 {
-    (void)now;
     for (auto &thread : threads_) {
         // Remaining live streams fold into LHTnext before the swap.
         std::vector<std::uint64_t> leftover_pos;
@@ -146,6 +151,26 @@ AsdPrefetcher::endEpoch(Cycle now)
         snap.negative = threads_[0]->negative.curr().counts();
         slh_history_.push_back(std::move(snap));
     }
+
+    // Keep the registered underflow counter in sync with the tables
+    // (clamps accumulate inside LikelihoodTable, not in a Counter).
+    const std::uint64_t clamps = lhtUnderflowClamps();
+    if (clamps > lht_underflow_.value())
+        lht_underflow_.inc(clamps - lht_underflow_.value());
+
+    if (epoch_end_hook_)
+        epoch_end_hook_(now);
+}
+
+std::uint64_t
+AsdPrefetcher::lhtUnderflowClamps() const
+{
+    std::uint64_t clamps = 0;
+    for (const auto &thread : threads_) {
+        clamps += thread->positive.underflowClamps();
+        clamps += thread->negative.underflowClamps();
+    }
+    return clamps;
 }
 
 void
@@ -219,6 +244,8 @@ AsdPrefetcher::registerStats(StatRegistry &registry,
     registry.add(prefix + ".suggested", prefetches_suggested_);
     registry.add(prefix + ".suppressed", decisions_negative_);
     registry.add(prefix + ".overflow_reads", overflow_reads_);
+    registry.add(prefix + ".stream_merges", stream_merges_);
+    registry.add(prefix + ".lht_underflow", lht_underflow_);
     buffer_.registerStats(registry, prefix + ".buffer");
     sched_.registerStats(registry, prefix + ".sched");
 }

@@ -14,6 +14,7 @@
  */
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -58,6 +59,17 @@ class AsdPrefetcher : public MemSidePrefetcher
 
     // Introspection for figures, benches and tests -------------------
 
+    /**
+     * Called once per epoch boundary, after the SLH swap and the
+     * Adaptive Scheduling policy step, with the boundary cycle. The
+     * telemetry recorder hangs off this; at most one hook.
+     */
+    void
+    setEpochEndHook(std::function<void(Cycle)> hook)
+    {
+        epoch_end_hook_ = std::move(hook);
+    }
+
     /** Keep per-epoch SLH snapshots (costs memory; off by default). */
     void enableSlhHistory(std::size_t max_epochs);
 
@@ -77,6 +89,31 @@ class AsdPrefetcher : public MemSidePrefetcher
     const PrefetchBuffer &buffer() const { return buffer_; }
     const AdaptiveScheduler &scheduler() const { return sched_; }
     std::uint64_t epochsCompleted() const { return epochs_done_; }
+    std::uint32_t threadCount() const
+    {
+        return static_cast<std::uint32_t>(threads_.size());
+    }
+
+    // Raw counter values (telemetry recorder takes per-epoch deltas).
+    std::uint64_t suggested() const
+    {
+        return prefetches_suggested_.value();
+    }
+    std::uint64_t suppressed() const
+    {
+        return decisions_negative_.value();
+    }
+    std::uint64_t overflowReads() const
+    {
+        return overflow_reads_.value();
+    }
+    std::uint64_t streamMerges() const
+    {
+        return stream_merges_.value();
+    }
+
+    /** LHT depletion clamps summed over threads and directions. */
+    std::uint64_t lhtUnderflowClamps() const;
 
     void registerStats(StatRegistry &registry,
                        const std::string &prefix) const;
@@ -119,6 +156,10 @@ class AsdPrefetcher : public MemSidePrefetcher
     Counter prefetches_suggested_;
     Counter decisions_negative_;
     Counter overflow_reads_;
+    Counter stream_merges_;  //!< filter slots retired by convergence
+    Counter lht_underflow_;  //!< mirror of lhtUnderflowClamps()
+
+    std::function<void(Cycle)> epoch_end_hook_;
 };
 
 } // namespace asd

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.hpp"
 #include "common/log.hpp"
 
 namespace asd
@@ -22,18 +23,44 @@ LikelihoodTable::recordStream(std::uint64_t len)
                               counts_.size());
     for (std::size_t i = 0; i < limit; ++i)
         ++counts_[i];
+    if (checksEnabled()) {
+        // A record-only table (LHTnext) stays monotone by
+        // construction: lht(k) >= lht(k+1).
+        for (std::size_t i = 1; i < counts_.size(); ++i)
+            checkThat(counts_[i - 1] >= counts_[i],
+                      "LHT monotonicity violated after recordStream");
+    }
 }
 
 void
 LikelihoodTable::removeStream(std::uint64_t len)
 {
     panicIfNot(len >= 1, "stream length must be >= 1");
+    if (checksEnabled()) {
+        const std::size_t limit =
+            std::min<std::size_t>(static_cast<std::size_t>(len),
+                                  counts_.size());
+        for (std::size_t i = 0; i < limit; ++i)
+            checkThat(counts_[i] > 0,
+                      "LHT underflow: removeStream beyond recorded "
+                      "streams (add/remove mismatch)");
+    }
+    removeStreamSaturating(len);
+}
+
+void
+LikelihoodTable::removeStreamSaturating(std::uint64_t len)
+{
+    panicIfNot(len >= 1, "stream length must be >= 1");
     const std::size_t limit =
         std::min<std::size_t>(static_cast<std::size_t>(len),
                               counts_.size());
-    for (std::size_t i = 0; i < limit; ++i)
+    for (std::size_t i = 0; i < limit; ++i) {
         if (counts_[i] > 0)
             --counts_[i];
+        else
+            ++underflow_clamps_;
+    }
 }
 
 std::uint64_t

@@ -29,8 +29,27 @@ class LikelihoodTable
     /** A stream of length @p len completed: ++entries 1..min(len,Lm). */
     void recordStream(std::uint64_t len);
 
-    /** Deplete entries 1..min(len,Lm) (LHTcurr during an epoch). */
+    /**
+     * Deplete entries 1..min(len,Lm). Removing more streams than were
+     * recorded is an add/remove mismatch that silently skews
+     * inequality (6); under checksEnabled() it panics, otherwise the
+     * affected entries saturate at zero and the clamp is counted
+     * (underflowClamps()).
+     */
     void removeStream(std::uint64_t len);
+
+    /**
+     * Deplete entries 1..min(len,Lm), clamping at zero and counting
+     * clamps even under checksEnabled(). This is the correct form for
+     * the paper's epoch protocol: LHTcurr starts an epoch as a copy of
+     * the *previous* epoch's stream population, so a busier epoch
+     * legitimately removes more streams than the copy recorded
+     * (expected from epoch 1, whose LHTcurr is all zeroes).
+     */
+    void removeStreamSaturating(std::uint64_t len);
+
+    /** Times an entry was depleted past zero and clamped. */
+    std::uint64_t underflowClamps() const { return underflow_clamps_; }
 
     /** lht(i), 1-based; 0 beyond the table. */
     std::uint64_t at(std::size_t i) const;
@@ -60,6 +79,7 @@ class LikelihoodTable
 
   private:
     std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_clamps_ = 0;
 };
 
 /** The (current, next) pair with the paper's epoch-boundary protocol. */
@@ -78,7 +98,7 @@ class LikelihoodTablePair
     streamDied(std::uint64_t len)
     {
         next_.recordStream(len);
-        curr_.removeStream(len);
+        curr_.removeStreamSaturating(len);
     }
 
     /**
@@ -97,6 +117,13 @@ class LikelihoodTablePair
 
     const LikelihoodTable &curr() const { return curr_; }
     const LikelihoodTable &next() const { return next_; }
+
+    /** Depletion clamps across both tables (telemetry stat). */
+    std::uint64_t
+    underflowClamps() const
+    {
+        return curr_.underflowClamps() + next_.underflowClamps();
+    }
 
   private:
     LikelihoodTable curr_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/check.hpp"
+
 namespace asd
 {
 
@@ -48,6 +50,16 @@ PrefetchBuffer::insert(LineAddr line)
     inserted_.inc();
     if (victim && victim->was_prefetch)
         evicted_unused_.inc();
+    if (checksEnabled()) {
+        checkThat(occupancy() <= capacityLines(),
+                  "Prefetch Buffer occupancy above capacity");
+    }
+}
+
+std::uint64_t
+PrefetchBuffer::occupancy() const
+{
+    return cache_.validLines();
 }
 
 void

@@ -62,6 +62,9 @@ class PrefetchBuffer
 
     std::uint32_t capacityLines() const;
 
+    /** Lines currently buffered (telemetry/invariants). */
+    std::uint64_t occupancy() const;
+
   private:
     SetAssocCache cache_;
     Counter inserted_;

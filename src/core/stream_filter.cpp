@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/check.hpp"
+
 namespace asd
 {
 
@@ -32,12 +34,41 @@ StreamFilter::StreamFilter(std::uint32_t slots, Cycles lifetime_init,
         table_.resize(slots_);
 }
 
+void
+StreamFilter::mergeConverged(const Slot &winner,
+                             StreamObservation &result)
+{
+    for (auto &slot : table_) {
+        if (!slot.valid || &slot == &winner ||
+            slot.last != winner.last) {
+            continue;
+        }
+        // Two live streams now point at the same line; the one that
+        // did not produce this observation is stale — retire it as a
+        // dead stream rather than letting two slots shadow each other.
+        result.converged = true;
+        result.converged_stream = {slot.length, slot.dir};
+        slot.valid = false;
+    }
+    if (checksEnabled()) {
+        for (std::size_t a = 0; a < table_.size(); ++a)
+            for (std::size_t b = a + 1; b < table_.size(); ++b)
+                checkThat(!table_[a].valid || !table_[b].valid ||
+                              table_[a].last != table_[b].last,
+                          "Stream Filter slot uniqueness violated");
+    }
+}
+
 StreamObservation
 StreamFilter::observe(LineAddr line, Cycle now)
 {
     StreamObservation result;
 
-    // Pass 1: extension or repeat of an existing stream.
+    // Match priority across *all* slots, most informative rule first
+    // (extension > direction-flip > same-line), so table order cannot
+    // decide between slots matching different rules.
+
+    // Rule 1: extension of an existing stream.
     for (auto &slot : table_) {
         if (!slot.valid)
             continue;
@@ -51,11 +82,17 @@ StreamFilter::observe(LineAddr line, Cycle now)
             result.kind = StreamObservation::Kind::Extended;
             result.length = slot.length;
             result.dir = slot.dir;
+            mergeConverged(slot, result);
             return result;
         }
-        // A length-1 stream has no committed direction yet; a read one
-        // line below flips it negative (paper section 3.3).
-        if (slot.length == 1 && slot.last > 0 && line == slot.last - 1) {
+    }
+
+    // Rule 2: a length-1 stream has no committed direction yet; a
+    // read one line below flips it negative (paper section 3.3).
+    for (auto &slot : table_) {
+        if (!slot.valid || slot.length != 1)
+            continue;
+        if (slot.last > 0 && line == slot.last - 1) {
             slot.dir = StreamDir::Negative;
             slot.last = line;
             slot.length = 2;
@@ -64,8 +101,15 @@ StreamFilter::observe(LineAddr line, Cycle now)
             result.kind = StreamObservation::Kind::Extended;
             result.length = slot.length;
             result.dir = slot.dir;
+            mergeConverged(slot, result);
             return result;
         }
+    }
+
+    // Rule 3: repeat of a stream's last line (lifetime refresh only).
+    for (auto &slot : table_) {
+        if (!slot.valid)
+            continue;
         if (line == slot.last) {
             slot.expires_at = now + lifetime_init_;
             result.kind = StreamObservation::Kind::SameLine;

@@ -21,6 +21,13 @@
 namespace asd
 {
 
+/** A stream evicted from the filter (lifetime expiry or flush). */
+struct DeadStream
+{
+    std::uint64_t length = 1;
+    StreamDir dir = StreamDir::Positive;
+};
+
 /** What happened when the filter observed one read. */
 struct StreamObservation
 {
@@ -39,13 +46,16 @@ struct StreamObservation
 
     /** Direction of the matched/allocated stream. */
     StreamDir dir = StreamDir::Positive;
-};
 
-/** A stream evicted from the filter (lifetime expiry or flush). */
-struct DeadStream
-{
-    std::uint64_t length = 1;
-    StreamDir dir = StreamDir::Positive;
+    /**
+     * An extension (or flip) landed on another live slot's last line:
+     * the two streams converged, the stale slot was invalidated, and
+     * its stream is reported here so the caller can fold it into the
+     * SLH like any other dead stream. Keeps "no two valid slots share
+     * a last line" a true invariant.
+     */
+    bool converged = false;
+    DeadStream converged_stream;
 };
 
 /** The Stream Filter. */
@@ -67,6 +77,14 @@ class StreamFilter
      *    stream negative and extends it;
      *  - a repeat of a stream's last line refreshes its lifetime;
      *  - otherwise a vacant slot is allocated, or Overflow reported.
+     *
+     * A line can satisfy several rules on *different* slots at once
+     * (extend slot A and repeat slot B's last line). Match priority is
+     * explicit and slot-order independent: extension beats
+     * direction-flip beats same-line, each rule scanned across all
+     * slots before the next is tried. When an extension or flip lands
+     * on another slot's last line the loser slot is retired and
+     * reported via StreamObservation::converged.
      */
     StreamObservation observe(LineAddr line, Cycle now);
 
@@ -90,6 +108,13 @@ class StreamFilter
         StreamDir dir = StreamDir::Positive;
         bool valid = false;
     };
+
+    /**
+     * Retire every *other* live slot whose last line equals
+     * @p winner's new last line (stream convergence) and report it in
+     * @p result; then assert slot-last uniqueness under checks.
+     */
+    void mergeConverged(const Slot &winner, StreamObservation &result);
 
     std::uint32_t slots_; //!< 0 = unbounded
     Cycles lifetime_init_;

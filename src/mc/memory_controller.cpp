@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.hpp"
 #include "common/log.hpp"
 
 namespace asd
@@ -101,6 +102,7 @@ MemoryController::pushPrefetches(const std::vector<LineAddr> &lines,
         cmd.enqueued_at = now;
         cmd.is_prefetch = true;
         lpq_.push_back(cmd);
+        lpq_hwm_ = std::max(lpq_hwm_, lpq_.size());
     }
 }
 
@@ -146,10 +148,12 @@ MemoryController::enqueueRead(LineAddr line, std::uint64_t id,
         flight.touches_dram = false;
         in_flight_.push_back(flight);
         pushPrefetches(candidates, now);
+        ++demand_accepted_;
         return true;
     }
     if (merged) {
         pushPrefetches(candidates, now);
+        ++demand_accepted_;
         return true;
     }
 
@@ -164,7 +168,9 @@ MemoryController::enqueueRead(LineAddr line, std::uint64_t id,
     cmd.thread = thread;
     cmd.enqueued_at = now;
     read_q_.push_back(cmd);
+    read_q_hwm_ = std::max(read_q_hwm_, read_q_.size());
     pushPrefetches(candidates, now);
+    ++demand_accepted_;
     return true;
 }
 
@@ -181,6 +187,7 @@ MemoryController::enqueueWrite(LineAddr line, Cycle now)
     cmd.is_write = true;
     cmd.enqueued_at = now;
     write_q_.push_back(cmd);
+    write_q_hwm_ = std::max(write_q_hwm_, write_q_.size());
     return true;
 }
 
@@ -227,12 +234,17 @@ MemoryController::moveToCaq(Cycle now)
         draining_writes_ = false;
     const auto pick = scheduler_->pick(read_q_, write_q_, dram_, now,
                                        draining_writes_);
-    if (!pick)
+    // A not-ready pick is only the scheduler's preference (its bank
+    // cannot accept a command). The FIFO CAQ issues strictly in
+    // order, so parking it there would block younger ready commands;
+    // leave it in the reorder queue where it stays schedulable.
+    if (!pick || !pick->ready)
         return;
     auto &queue = pick->from_write_queue ? write_q_ : read_q_;
     panicIfNot(pick->index < queue.size(),
                "scheduler picked an out-of-range command");
     caq_.push_back(queue[pick->index]);
+    caq_hwm_ = std::max(caq_hwm_, caq_.size());
     queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(pick->index));
 }
 
@@ -292,6 +304,8 @@ MemoryController::issueToDram(Cycle now)
     const Cycle done = dram_.issue(cmd.line, cmd.is_write, false,
                                    now + config_.command_overhead);
     scheduler_->notifyIssued(cmd, dram_);
+    if (cmd.is_write)
+        ++writes_issued_;
     if (!cmd.is_write) {
         InFlight flight;
         flight.done = done + config_.return_overhead;
@@ -321,12 +335,14 @@ MemoryController::completeFinished(Cycle now)
                 // would be dead weight (same rule as a buffer hit).
                 prefetches_merged_useful_.inc();
                 for (const McCommand &waiter : flight.waiters) {
+                    ++demand_completed_;
                     on_read_done_(waiter.id,
                                   flight.done +
                                       config_.return_overhead);
                 }
             }
         } else {
+            ++demand_completed_;
             on_read_done_(flight.cmd.id, flight.done);
         }
     }
@@ -340,6 +356,57 @@ MemoryController::tick(Cycle now)
     completeFinished(now);
     moveToCaq(now);
     issueToDram(now);
+    if (checksEnabled())
+        checkInvariants();
+}
+
+void
+MemoryController::resetQueueHighWater()
+{
+    read_q_hwm_ = read_q_.size();
+    write_q_hwm_ = write_q_.size();
+    caq_hwm_ = caq_.size();
+    lpq_hwm_ = lpq_.size();
+}
+
+void
+MemoryController::checkInvariants() const
+{
+    checkThat(read_q_.size() <= config_.read_queue,
+              "read reorder queue above capacity");
+    checkThat(write_q_.size() <= config_.write_queue,
+              "write reorder queue above capacity");
+    checkThat(caq_.size() <= config_.caq, "CAQ above capacity");
+    checkThat(lpq_.size() <= config_.lpq, "LPQ above capacity");
+
+    std::size_t caq_reads = 0;
+    std::size_t caq_writes = 0;
+    for (const auto &cmd : caq_)
+        (cmd.is_write ? caq_writes : caq_reads) += 1;
+    for (const auto &cmd : lpq_)
+        checkThat(cmd.is_prefetch && !cmd.is_write,
+                  "non-prefetch command in the LPQ");
+
+    // Every accepted demand read is exactly one of: completed, in the
+    // read reorder queue, a read in the CAQ, a non-prefetch flight,
+    // or a waiter riding an in-flight prefetch.
+    std::uint64_t live = read_q_.size() + caq_reads;
+    for (const auto &flight : in_flight_) {
+        if (flight.cmd.is_prefetch) {
+            live += flight.waiters.size();
+        } else {
+            checkThat(flight.waiters.empty(),
+                      "waiters on a non-prefetch flight");
+            live += 1;
+        }
+    }
+    checkThat(demand_accepted_ == demand_completed_ + live,
+              "demand-read conservation violated across MC queues");
+
+    // Writes: observed = issued to DRAM + still queued + in the CAQ.
+    checkThat(writes_observed_.value() ==
+                  writes_issued_ + write_q_.size() + caq_writes,
+              "write conservation violated across MC queues");
 }
 
 bool

@@ -163,7 +163,17 @@ class MemoryController
     }
     std::size_t lpqOccupancy() const { return lpq_.size(); }
     std::size_t caqOccupancy() const { return caq_.size(); }
+    std::size_t readQOccupancy() const { return read_q_.size(); }
+    std::size_t writeQOccupancy() const { return write_q_.size(); }
     bool drainingWrites() const { return draining_writes_; }
+
+    // Queue-occupancy high-water marks since the last reset, updated
+    // on every enqueue (telemetry samples and resets them per epoch).
+    std::size_t readQHighWater() const { return read_q_hwm_; }
+    std::size_t writeQHighWater() const { return write_q_hwm_; }
+    std::size_t caqHighWater() const { return caq_hwm_; }
+    std::size_t lpqHighWater() const { return lpq_hwm_; }
+    void resetQueueHighWater();
 
   private:
     struct InFlight
@@ -204,6 +214,14 @@ class MemoryController
     void issueToDram(Cycle now);
     void completeFinished(Cycle now);
 
+    /**
+     * ASD_CHECK: capacity bounds, LPQ purity, and command
+     * conservation — every accepted demand read is exactly one of
+     * completed / queued / in the CAQ / in flight / riding a prefetch,
+     * and every write is queued, in the CAQ, or issued.
+     */
+    void checkInvariants() const;
+
     McConfig config_;
     Dram &dram_;
     ReadCallback on_read_done_;
@@ -217,6 +235,18 @@ class MemoryController
     std::deque<McCommand> lpq_;
     std::vector<InFlight> in_flight_;
     std::uint64_t next_prefetch_id_ = 1ULL << 62;
+
+    std::size_t read_q_hwm_ = 0;
+    std::size_t write_q_hwm_ = 0;
+    std::size_t caq_hwm_ = 0;
+    std::size_t lpq_hwm_ = 0;
+
+    // Conservation bookkeeping for checkInvariants(); maintained
+    // unconditionally (three increments) so checks can be enabled
+    // mid-run.
+    std::uint64_t demand_accepted_ = 0;
+    std::uint64_t demand_completed_ = 0;
+    std::uint64_t writes_issued_ = 0;
 
     Counter reads_observed_;
     Counter writes_observed_;

@@ -55,34 +55,43 @@ MemorylessScheduler::pick(const std::deque<McCommand> &reads,
     for (std::size_t i = 0; i < writes.size(); ++i)
         if (dram.canIssue(writes[i].line, now))
             return SchedulerPick{true, i};
-    return oldestOverall(reads, writes);
+
+    // Nothing issuable: report the oldest command as a preference but
+    // tag it not-ready; the controller must not move it to the CAQ.
+    auto fallback = oldestOverall(reads, writes);
+    if (fallback)
+        fallback->ready = false;
+    return fallback;
 }
 
-double
+std::int64_t
 AhbScheduler::cost(const McCommand &cmd, const Dram &dram, Cycle now,
                    bool drain_writes) const
 {
-    double cost = 0.0;
+    // Fixed-point: 1 unit = 1/8 cycle. Same ordering as the previous
+    // floating-point form (whose terms were all multiples of 1/8),
+    // with ties exact by construction.
+    std::int64_t cost = 0;
 
     // Expected wait until the command's bank is free.
     const Cycle ready = dram.bankReadyAt(cmd.line);
     if (ready > now)
-        cost += static_cast<double>(ready - now) / 8.0;
+        cost += static_cast<std::int64_t>(ready - now);
 
     // Bank reuse against recent history causes row cycling; penalize.
     const DramCoord coord = dram.decode(cmd.line);
     for (const auto &hist : history_)
         if (hist.bank == coord.bank)
-            cost += 4.0;
+            cost += 4 * 8;
 
     // Read/write bus turnaround.
     if (!history_.empty() && history_.back().is_write != cmd.is_write)
-        cost += 1.0;
+        cost += 1 * 8;
 
     // Reads carry latency; deprioritize writes unless the
     // controller's watermark machinery wants the write queue drained.
     if (cmd.is_write && !drain_writes)
-        cost += 2.0;
+        cost += 2 * 8;
 
     return cost;
 }
@@ -96,12 +105,12 @@ AhbScheduler::pick(const std::deque<McCommand> &reads,
         return std::nullopt;
 
     std::optional<SchedulerPick> best;
-    double best_cost = 0.0;
+    std::int64_t best_cost = 0;
     Cycle best_age = 0;
 
     auto consider = [&](const McCommand &cmd, bool from_write,
                         std::size_t index) {
-        const double c = cost(cmd, dram, now, drain_writes);
+        const std::int64_t c = cost(cmd, dram, now, drain_writes);
         if (!best || c < best_cost ||
             (c == best_cost && cmd.enqueued_at < best_age)) {
             best = SchedulerPick{from_write, index};

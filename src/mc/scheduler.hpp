@@ -11,6 +11,7 @@
  */
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <optional>
@@ -35,6 +36,15 @@ struct SchedulerPick
 {
     bool from_write_queue = false;
     std::size_t index = 0;
+
+    /**
+     * False when the scheduler found nothing issuable and is only
+     * reporting its preference (Memoryless with every bank busy). The
+     * controller leaves a not-ready pick in its reorder queue instead
+     * of moving it into the FIFO CAQ, where it would block younger
+     * ready commands behind a busy bank.
+     */
+    bool ready = true;
 };
 
 /**
@@ -80,8 +90,10 @@ class InOrderScheduler : public ReorderScheduler
 
 /**
  * Bank-aware but history-free: prefers the oldest command whose bank
- * can accept a command now, reads before writes; falls back to the
- * oldest command overall.
+ * can accept a command now, reads before writes. When nothing is
+ * issuable the oldest command overall is returned tagged not-ready so
+ * the controller keeps it schedulable instead of parking it in the
+ * CAQ against a busy bank.
  */
 class MemorylessScheduler : public ReorderScheduler
 {
@@ -96,7 +108,10 @@ class MemorylessScheduler : public ReorderScheduler
  * Approximation of the Adaptive History-Based scheduler: scores each
  * candidate by expected bank-conflict cost against recently issued
  * commands, read/write switch cost, and queue-pressure balance, then
- * picks the cheapest (oldest on ties).
+ * picks the cheapest (oldest on ties). Costs are integer fixed-point
+ * in 1/8-cycle units so equal-cost ties compare exactly — the
+ * floating-point form relied on `double == double`, which is fragile
+ * the moment a cost term stops being a multiple of 1/8.
  */
 class AhbScheduler : public ReorderScheduler
 {
@@ -115,8 +130,8 @@ class AhbScheduler : public ReorderScheduler
         bool is_write = false;
     };
 
-    double cost(const McCommand &cmd, const Dram &dram, Cycle now,
-                bool drain_writes) const;
+    std::int64_t cost(const McCommand &cmd, const Dram &dram,
+                      Cycle now, bool drain_writes) const;
 
     static constexpr std::size_t kHistoryDepth = 4;
     std::deque<HistoryEntry> history_;

@@ -68,23 +68,56 @@ makeSystemConfig(const RunOptions &options)
         config.asd.sched.adaptive = false;
         config.asd.sched.fixed_policy = *options.fixed_policy;
     }
+    config.telemetry = options.telemetry;
     return config;
 }
 
+namespace
+{
+
+void
+copyEpochs(const System &system, std::vector<EpochRecord> *out)
+{
+    if (!out)
+        return;
+    out->clear();
+    if (system.telemetry())
+        *out = system.telemetry()->records();
+}
+
+} // namespace
+
 RunMetrics
 runBenchmark(const Benchmark &bench, const RunOptions &options)
+{
+    return runBenchmark(bench, options, nullptr);
+}
+
+RunMetrics
+runBenchmark(const Benchmark &bench, const RunOptions &options,
+             std::vector<EpochRecord> *epochs_out)
 {
     SyntheticConfig trace_config = bench.trace;
     trace_config.total_accesses = scaledAccesses(bench, options);
     SyntheticTraceGenerator trace(trace_config);
 
     System system(makeSystemConfig(options), {&trace});
-    return system.run();
+    const RunMetrics metrics = system.run();
+    copyEpochs(system, epochs_out);
+    return metrics;
 }
 
 RunMetrics
 runSmtPair(const Benchmark &a, const Benchmark &b,
            const RunOptions &options)
+{
+    return runSmtPair(a, b, options, nullptr);
+}
+
+RunMetrics
+runSmtPair(const Benchmark &a, const Benchmark &b,
+           const RunOptions &options,
+           std::vector<EpochRecord> *epochs_out)
 {
     SyntheticConfig config_a = a.trace;
     SyntheticConfig config_b = b.trace;
@@ -97,7 +130,9 @@ runSmtPair(const Benchmark &a, const Benchmark &b,
     SyntheticTraceGenerator trace_b(config_b);
 
     System system(makeSystemConfig(options), {&trace_a, &trace_b});
-    return system.run();
+    const RunMetrics metrics = system.run();
+    copyEpochs(system, epochs_out);
+    return metrics;
 }
 
 } // namespace asd

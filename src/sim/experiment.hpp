@@ -12,9 +12,11 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "sim/metrics.hpp"
 #include "sim/system_config.hpp"
+#include "telemetry/recorder.hpp"
 #include "workloads/profiles.hpp"
 
 namespace asd
@@ -45,6 +47,9 @@ struct RunOptions
 
     /** Virtual-memory layer (off by default => seed-identical). */
     VmConfig vm;
+
+    /** Per-epoch telemetry recorder (off by default). */
+    TelemetryConfig telemetry;
 };
 
 /** The paper's default machine for @p options. */
@@ -54,9 +59,24 @@ SystemConfig makeSystemConfig(const RunOptions &options);
 RunMetrics runBenchmark(const Benchmark &bench,
                         const RunOptions &options);
 
+/**
+ * Like runBenchmark, additionally copying the telemetry time-series
+ * into @p epochs_out (cleared first; empty when
+ * options.telemetry.enabled is false or the MC prefetcher is not
+ * ASD). Null @p epochs_out is allowed.
+ */
+RunMetrics runBenchmark(const Benchmark &bench,
+                        const RunOptions &options,
+                        std::vector<EpochRecord> *epochs_out);
+
 /** Run two benchmark threads on one core (SMT experiments). */
 RunMetrics runSmtPair(const Benchmark &a, const Benchmark &b,
                       const RunOptions &options);
+
+/** SMT variant with a telemetry out-param (see runBenchmark). */
+RunMetrics runSmtPair(const Benchmark &a, const Benchmark &b,
+                      const RunOptions &options,
+                      std::vector<EpochRecord> *epochs_out);
 
 /**
  * Global trace-length multiplier from the ASD_BENCH_SCALE environment

@@ -114,6 +114,19 @@ System::System(const SystemConfig &config,
                                     "cpu.t" + std::to_string(t));
     }
 
+    if (config_.telemetry.enabled) {
+        if (asd_) {
+            telemetry_ = std::make_unique<TelemetryRecorder>(
+                config_.telemetry, *asd_, mc_, dram_);
+            asd_->setEpochEndHook([this](Cycle now) {
+                telemetry_->onEpochEnd(now);
+            });
+        } else {
+            warn("telemetry requested but the memory-side prefetcher "
+                 "is not ASD; no epochs to record");
+        }
+    }
+
     if (frames_)
         frames_->registerStats(registry_, "vm");
     dram_.registerStats(registry_);

@@ -26,6 +26,7 @@
 #include "prefetch/ps_prefetcher.hpp"
 #include "sim/metrics.hpp"
 #include "sim/system_config.hpp"
+#include "telemetry/recorder.hpp"
 #include "vm/mmu.hpp"
 
 namespace asd
@@ -69,6 +70,15 @@ class System : public MemPort
     AsdPrefetcher *asd() { return asd_.get(); }
     const AsdPrefetcher *asd() const { return asd_.get(); }
 
+    /**
+     * Non-null when SystemConfig::telemetry.enabled and the MC
+     * prefetcher is ASD (epochs are an ASD notion).
+     */
+    const TelemetryRecorder *telemetry() const
+    {
+        return telemetry_.get();
+    }
+
     /** Thread @p t's MMU; null when the VM layer is disabled. */
     const Mmu *mmu(std::uint32_t t) const
     {
@@ -89,6 +99,7 @@ class System : public MemPort
     CacheHierarchy hierarchy_;
 
     std::unique_ptr<AsdPrefetcher> asd_;
+    std::unique_ptr<TelemetryRecorder> telemetry_;
     std::unique_ptr<BufferedMcPrefetcher> baseline_;
     const PrefetchBuffer *buffer_ = nullptr; //!< whichever is active
 

@@ -19,6 +19,7 @@
 #include "prefetch/ghb_prefetcher.hpp"
 #include "prefetch/stride_prefetcher.hpp"
 #include "prefetch/ps_prefetcher.hpp"
+#include "telemetry/telemetry_config.hpp"
 #include "vm/vm_config.hpp"
 
 namespace asd
@@ -67,6 +68,14 @@ struct SystemConfig
      * the layer.
      */
     VmConfig vm;
+
+    /**
+     * Per-epoch telemetry recorder (ASD memory-side prefetcher only,
+     * since epochs are an ASD notion). Disabled by default; when off,
+     * the recorder is never constructed and simulation output is
+     * byte-identical to a build without the telemetry layer.
+     */
+    TelemetryConfig telemetry;
 
     HierarchyConfig hierarchy;
     DramConfig dram;

@@ -1,0 +1,120 @@
+#include "telemetry/recorder.hpp"
+
+namespace asd
+{
+
+TelemetryRecorder::TelemetryRecorder(const TelemetryConfig &config,
+                                     const AsdPrefetcher &asd,
+                                     MemoryController &mc,
+                                     const Dram &dram)
+    : config_(config), asd_(asd), mc_(mc), dram_(dram)
+{
+    baseline_ = sampleCounters();
+    // High-water marks accumulated before the first epoch belong to
+    // epoch 1; leave them untouched.
+}
+
+TelemetryRecorder::Baseline
+TelemetryRecorder::sampleCounters() const
+{
+    Baseline b;
+    b.reads = mc_.readsObserved();
+    b.suggested = asd_.suggested();
+    b.suppressed = asd_.suppressed();
+    b.overflow_reads = asd_.overflowReads();
+    b.stream_merges = asd_.streamMerges();
+    b.lht_underflow_clamps = asd_.lhtUnderflowClamps();
+    b.prefetches_issued = mc_.prefetchesIssued();
+    b.buffer_hits = mc_.bufferHits();
+    b.buffer_consumed = asd_.buffer().consumed();
+    b.merged_useful = mc_.prefetchesMergedUseful();
+    b.lpq_dropped = mc_.lpqDrops();
+    b.conflicts = asd_.scheduler().totalConflicts();
+    b.regulars_delayed = mc_.regularsDelayed();
+    b.dram_row_hits = dram_.rowHits();
+    b.dram_row_misses = dram_.rowMisses();
+    return b;
+}
+
+void
+TelemetryRecorder::onEpochEnd(Cycle now)
+{
+    if (!config_.enabled || capped_)
+        return;
+    if (config_.max_epochs > 0 &&
+        records_.size() >= config_.max_epochs) {
+        capped_ = true;
+        return;
+    }
+
+    const Baseline sample = sampleCounters();
+    EpochRecord rec;
+    rec.epoch = asd_.epochsCompleted();
+    rec.start_cycle = baseline_.cycle;
+    rec.end_cycle = now;
+
+    rec.reads = sample.reads - baseline_.reads;
+    rec.suggested = sample.suggested - baseline_.suggested;
+    rec.suppressed = sample.suppressed - baseline_.suppressed;
+    rec.overflow_reads =
+        sample.overflow_reads - baseline_.overflow_reads;
+    rec.stream_merges = sample.stream_merges - baseline_.stream_merges;
+    rec.lht_underflow_clamps =
+        sample.lht_underflow_clamps - baseline_.lht_underflow_clamps;
+
+    rec.prefetches_issued =
+        sample.prefetches_issued - baseline_.prefetches_issued;
+    rec.buffer_hits = sample.buffer_hits - baseline_.buffer_hits;
+    rec.buffer_consumed =
+        sample.buffer_consumed - baseline_.buffer_consumed;
+    rec.merged_useful = sample.merged_useful - baseline_.merged_useful;
+    rec.lpq_dropped = sample.lpq_dropped - baseline_.lpq_dropped;
+
+    // The hook fires after AdaptiveScheduler::epochEnd(), so policy()
+    // is the (possibly stepped) policy entering the next epoch — the
+    // value the paper's Fig. 13-style timelines plot.
+    rec.policy = asd_.scheduler().policy();
+    rec.conflicts = sample.conflicts - baseline_.conflicts;
+    rec.regulars_delayed =
+        sample.regulars_delayed - baseline_.regulars_delayed;
+
+    rec.dram_row_hits = sample.dram_row_hits - baseline_.dram_row_hits;
+    rec.dram_row_misses =
+        sample.dram_row_misses - baseline_.dram_row_misses;
+
+    rec.read_q_hwm = mc_.readQHighWater();
+    rec.write_q_hwm = mc_.writeQHighWater();
+    rec.caq_hwm = mc_.caqHighWater();
+    rec.lpq_hwm = mc_.lpqHighWater();
+    mc_.resetQueueHighWater();
+
+    const std::uint64_t useful =
+        rec.buffer_consumed + rec.merged_useful;
+    if (rec.prefetches_issued > 0) {
+        rec.accuracy_pct = 100.0 * static_cast<double>(useful) /
+                           static_cast<double>(rec.prefetches_issued);
+    }
+    if (rec.reads > 0) {
+        rec.coverage_pct =
+            100.0 * static_cast<double>(rec.buffer_hits) /
+            static_cast<double>(rec.reads);
+    }
+
+    if (config_.capture_slh) {
+        for (std::uint32_t t = 0; t < asd_.threadCount(); ++t) {
+            EpochLht lht;
+            lht.thread = t;
+            lht.positive =
+                asd_.lhtCurr(t, StreamDir::Positive).counts();
+            lht.negative =
+                asd_.lhtCurr(t, StreamDir::Negative).counts();
+            rec.slh.push_back(std::move(lht));
+        }
+    }
+
+    records_.push_back(std::move(rec));
+    baseline_ = sample;
+    baseline_.cycle = now;
+}
+
+} // namespace asd

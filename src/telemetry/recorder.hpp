@@ -1,0 +1,144 @@
+#ifndef ASD_TELEMETRY_RECORDER_HPP
+#define ASD_TELEMETRY_RECORDER_HPP
+
+/**
+ * @file
+ * Per-epoch telemetry: the paper's claims are all *per-epoch*
+ * dynamics — the SLH adapting (Fig. 2), the Adaptive Scheduler
+ * walking its five policies, accuracy/coverage trading off
+ * (Figs. 10-11) — so the recorder samples every counter the epoch
+ * machinery touches at each AsdPrefetcher epoch boundary and turns
+ * them into one EpochRecord of deltas. sim::System installs it via
+ * AsdPrefetcher::setEpochEndHook; it only reads (plus resetting the
+ * controller's queue high-water marks), so an enabled recorder never
+ * changes simulation results.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/asd_prefetcher.hpp"
+#include "dram/dram.hpp"
+#include "mc/memory_controller.hpp"
+#include "telemetry/telemetry_config.hpp"
+
+namespace asd
+{
+
+/** One thread's LHTcurr snapshot inside an epoch record. */
+struct EpochLht
+{
+    std::uint32_t thread = 0;
+    std::vector<std::uint64_t> positive; //!< stream-count lht()
+    std::vector<std::uint64_t> negative;
+};
+
+/** Everything one epoch did, as deltas over the epoch. */
+struct EpochRecord
+{
+    std::uint64_t epoch = 0; //!< 1-based, == epochsCompleted()
+    Cycle start_cycle = 0;   //!< previous boundary (0 for epoch 1)
+    Cycle end_cycle = 0;     //!< cycle of this boundary
+
+    // ASD decision path.
+    std::uint64_t reads = 0;     //!< MC reads observed this epoch
+    std::uint64_t suggested = 0; //!< prefetch candidates emitted
+    std::uint64_t suppressed = 0;
+    std::uint64_t overflow_reads = 0;
+    std::uint64_t stream_merges = 0;
+    std::uint64_t lht_underflow_clamps = 0;
+
+    // Prefetch datapath.
+    std::uint64_t prefetches_issued = 0;
+    std::uint64_t buffer_hits = 0;
+    std::uint64_t buffer_consumed = 0;
+    std::uint64_t merged_useful = 0;
+    std::uint64_t lpq_dropped = 0;
+
+    // Adaptive Scheduling feedback.
+    int policy = 0; //!< policy in force entering the *next* epoch
+    std::uint64_t conflicts = 0; //!< prefetch-conflict notifications
+    std::uint64_t regulars_delayed = 0;
+
+    // Memory substrate.
+    std::uint64_t dram_row_hits = 0;
+    std::uint64_t dram_row_misses = 0; //!< bank conflicts (row cycles)
+
+    // Queue-occupancy high-water marks over the epoch.
+    std::size_t read_q_hwm = 0;
+    std::size_t write_q_hwm = 0;
+    std::size_t caq_hwm = 0;
+    std::size_t lpq_hwm = 0;
+
+    /**
+     * Per-epoch accuracy/coverage, mirroring RunMetrics'
+     * useful_prefetch_pct / coverage_pct definitions but over this
+     * epoch's deltas (0 when the denominator is 0).
+     */
+    double accuracy_pct = 0.0;
+    double coverage_pct = 0.0;
+
+    /** Per-thread LHTcurr snapshots (TelemetryConfig::capture_slh). */
+    std::vector<EpochLht> slh;
+};
+
+/** The recorder; one per System, driven by the epoch-end hook. */
+class TelemetryRecorder
+{
+  public:
+    /**
+     * All references must outlive the recorder. The controller is
+     * mutable only to read-and-reset its queue high-water marks.
+     */
+    TelemetryRecorder(const TelemetryConfig &config,
+                      const AsdPrefetcher &asd, MemoryController &mc,
+                      const Dram &dram);
+
+    /** Epoch boundary at @p now: append one EpochRecord. */
+    void onEpochEnd(Cycle now);
+
+    const std::vector<EpochRecord> &records() const
+    {
+        return records_;
+    }
+
+    const TelemetryConfig &config() const { return config_; }
+
+  private:
+    /** Counter values the next epoch's deltas are taken against. */
+    struct Baseline
+    {
+        std::uint64_t reads = 0;
+        std::uint64_t suggested = 0;
+        std::uint64_t suppressed = 0;
+        std::uint64_t overflow_reads = 0;
+        std::uint64_t stream_merges = 0;
+        std::uint64_t lht_underflow_clamps = 0;
+        std::uint64_t prefetches_issued = 0;
+        std::uint64_t buffer_hits = 0;
+        std::uint64_t buffer_consumed = 0;
+        std::uint64_t merged_useful = 0;
+        std::uint64_t lpq_dropped = 0;
+        std::uint64_t conflicts = 0;
+        std::uint64_t regulars_delayed = 0;
+        std::uint64_t dram_row_hits = 0;
+        std::uint64_t dram_row_misses = 0;
+        Cycle cycle = 0;
+    };
+
+    Baseline sampleCounters() const;
+
+    TelemetryConfig config_;
+    const AsdPrefetcher &asd_;
+    MemoryController &mc_;
+    const Dram &dram_;
+
+    Baseline baseline_;
+    std::vector<EpochRecord> records_;
+    bool capped_ = false;
+};
+
+} // namespace asd
+
+#endif // ASD_TELEMETRY_RECORDER_HPP

@@ -1,0 +1,256 @@
+#include "telemetry/sinks.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+
+#include "common/json.hpp"
+#include "common/log.hpp"
+
+namespace asd
+{
+
+namespace
+{
+
+std::string
+pct(double value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.4f", value);
+    return buf;
+}
+
+/** Emit the scalar fields shared by the JSON and trace exporters. */
+void
+writeScalarMembers(JsonWriter &w, const EpochRecord &rec)
+{
+    w.key("reads").value(rec.reads);
+    w.key("suggested").value(rec.suggested);
+    w.key("suppressed").value(rec.suppressed);
+    w.key("overflow_reads").value(rec.overflow_reads);
+    w.key("stream_merges").value(rec.stream_merges);
+    w.key("lht_underflow_clamps").value(rec.lht_underflow_clamps);
+    w.key("prefetches_issued").value(rec.prefetches_issued);
+    w.key("buffer_hits").value(rec.buffer_hits);
+    w.key("buffer_consumed").value(rec.buffer_consumed);
+    w.key("merged_useful").value(rec.merged_useful);
+    w.key("lpq_dropped").value(rec.lpq_dropped);
+    w.key("accuracy_pct").value(rec.accuracy_pct);
+    w.key("coverage_pct").value(rec.coverage_pct);
+    w.key("policy").value(rec.policy);
+    w.key("conflicts").value(rec.conflicts);
+    w.key("regulars_delayed").value(rec.regulars_delayed);
+    w.key("dram_row_hits").value(rec.dram_row_hits);
+    w.key("dram_row_misses").value(rec.dram_row_misses);
+    w.key("read_q_hwm").value(
+        static_cast<std::uint64_t>(rec.read_q_hwm));
+    w.key("write_q_hwm").value(
+        static_cast<std::uint64_t>(rec.write_q_hwm));
+    w.key("caq_hwm").value(static_cast<std::uint64_t>(rec.caq_hwm));
+    w.key("lpq_hwm").value(static_cast<std::uint64_t>(rec.lpq_hwm));
+}
+
+bool
+saveString(const std::string &text, const std::string &path,
+           const char *what)
+{
+    std::error_code ec;
+    const auto parent = std::filesystem::path(path).parent_path();
+    if (!parent.empty())
+        std::filesystem::create_directories(parent, ec);
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot open " + std::string(what) + " file: " + path);
+        return false;
+    }
+    out << text;
+    out.flush();
+    if (!out) {
+        warn("write failed for " + std::string(what) + " file: " + path);
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+void
+writeTelemetryCsv(const std::vector<EpochRecord> &records,
+                  std::ostream &out)
+{
+    out << "epoch,start_cycle,end_cycle,reads,suggested,suppressed,"
+           "overflow_reads,stream_merges,lht_underflow_clamps,"
+           "prefetches_issued,buffer_hits,buffer_consumed,"
+           "merged_useful,lpq_dropped,accuracy_pct,coverage_pct,"
+           "policy,conflicts,regulars_delayed,dram_row_hits,"
+           "dram_row_misses,read_q_hwm,write_q_hwm,caq_hwm,lpq_hwm\n";
+    for (const auto &rec : records) {
+        out << rec.epoch << ',' << rec.start_cycle << ','
+            << rec.end_cycle << ',' << rec.reads << ','
+            << rec.suggested << ',' << rec.suppressed << ','
+            << rec.overflow_reads << ',' << rec.stream_merges << ','
+            << rec.lht_underflow_clamps << ','
+            << rec.prefetches_issued << ',' << rec.buffer_hits << ','
+            << rec.buffer_consumed << ',' << rec.merged_useful << ','
+            << rec.lpq_dropped << ',' << pct(rec.accuracy_pct) << ','
+            << pct(rec.coverage_pct) << ',' << rec.policy << ','
+            << rec.conflicts << ',' << rec.regulars_delayed << ','
+            << rec.dram_row_hits << ',' << rec.dram_row_misses << ','
+            << rec.read_q_hwm << ',' << rec.write_q_hwm << ','
+            << rec.caq_hwm << ',' << rec.lpq_hwm << '\n';
+    }
+}
+
+std::string
+telemetryJson(const std::vector<EpochRecord> &records)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("asdsim/telemetry/v1");
+    w.key("epochs").beginArray();
+    for (const auto &rec : records) {
+        w.beginObject();
+        w.key("epoch").value(rec.epoch);
+        w.key("start_cycle").value(rec.start_cycle);
+        w.key("end_cycle").value(rec.end_cycle);
+        writeScalarMembers(w, rec);
+        if (!rec.slh.empty()) {
+            w.key("slh").beginArray();
+            for (const auto &lht : rec.slh) {
+                w.beginObject();
+                w.key("thread").value(lht.thread);
+                w.key("positive").beginArray();
+                for (const auto count : lht.positive)
+                    w.value(count);
+                w.endArray();
+                w.key("negative").beginArray();
+                for (const auto count : lht.negative)
+                    w.value(count);
+                w.endArray();
+                w.endObject();
+            }
+            w.endArray();
+        }
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+std::string
+telemetryChromeTrace(const std::vector<EpochRecord> &records)
+{
+    // Trace-event timestamps are microseconds; we map one simulated
+    // cycle to one microsecond, which keeps the timeline proportional
+    // and the numbers readable.
+    JsonWriter w;
+    w.beginObject();
+    w.key("displayTimeUnit").value("ms");
+    w.key("traceEvents").beginArray();
+    for (const auto &rec : records) {
+        const std::uint64_t ts = rec.start_cycle;
+        const std::uint64_t dur =
+            rec.end_cycle > rec.start_cycle
+                ? rec.end_cycle - rec.start_cycle
+                : 0;
+
+        // One slice per epoch with the full record attached.
+        w.beginObject();
+        w.key("name").value("epoch " + std::to_string(rec.epoch));
+        w.key("cat").value("epoch");
+        w.key("ph").value("X");
+        w.key("ts").value(ts);
+        w.key("dur").value(dur);
+        w.key("pid").value(1);
+        w.key("tid").value(1);
+        w.key("args").beginObject();
+        writeScalarMembers(w, rec);
+        w.endObject();
+        w.endObject();
+
+        // Counter tracks for the headline per-epoch series.
+        const auto counter = [&w, ts](const char *name) -> JsonWriter & {
+            w.beginObject();
+            w.key("name").value(name);
+            w.key("ph").value("C");
+            w.key("ts").value(ts);
+            w.key("pid").value(1);
+            return w.key("args").beginObject();
+        };
+        counter("prefetch quality")
+            .key("accuracy_pct")
+            .value(rec.accuracy_pct)
+            .key("coverage_pct")
+            .value(rec.coverage_pct)
+            .endObject()
+            .endObject();
+        counter("scheduler policy")
+            .key("policy")
+            .value(rec.policy)
+            .endObject()
+            .endObject();
+        counter("queue high-water")
+            .key("read_q")
+            .value(static_cast<std::uint64_t>(rec.read_q_hwm))
+            .key("write_q")
+            .value(static_cast<std::uint64_t>(rec.write_q_hwm))
+            .key("caq")
+            .value(static_cast<std::uint64_t>(rec.caq_hwm))
+            .key("lpq")
+            .value(static_cast<std::uint64_t>(rec.lpq_hwm))
+            .endObject()
+            .endObject();
+        counter("dram rows")
+            .key("row_hits")
+            .value(rec.dram_row_hits)
+            .key("row_misses")
+            .value(rec.dram_row_misses)
+            .endObject()
+            .endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+bool
+saveTelemetryCsv(const std::vector<EpochRecord> &records,
+                 const std::string &path)
+{
+    std::error_code ec;
+    const auto parent = std::filesystem::path(path).parent_path();
+    if (!parent.empty())
+        std::filesystem::create_directories(parent, ec);
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot open telemetry CSV file: " + path);
+        return false;
+    }
+    writeTelemetryCsv(records, out);
+    out.flush();
+    if (!out) {
+        warn("write failed for telemetry CSV file: " + path);
+        return false;
+    }
+    return true;
+}
+
+bool
+saveTelemetryJson(const std::vector<EpochRecord> &records,
+                  const std::string &path)
+{
+    return saveString(telemetryJson(records), path, "telemetry JSON");
+}
+
+bool
+saveTelemetryChromeTrace(const std::vector<EpochRecord> &records,
+                         const std::string &path)
+{
+    return saveString(telemetryChromeTrace(records), path,
+                      "telemetry trace");
+}
+
+} // namespace asd

@@ -1,0 +1,48 @@
+#ifndef ASD_TELEMETRY_SINKS_HPP
+#define ASD_TELEMETRY_SINKS_HPP
+
+/**
+ * @file
+ * Pluggable exporters for the per-epoch telemetry log:
+ *  - a wide CSV (one row per epoch) for spreadsheets/pandas,
+ *  - a JSON time-series (asdsim/telemetry/v1) on common/json,
+ *  - a Chrome trace-event file loadable in chrome://tracing or Perfetto
+ *    (one "X" slice per epoch on a virtual track plus counter tracks
+ *    for accuracy/coverage/policy/queue occupancy; cycles are mapped
+ *    to trace microseconds).
+ * Writers take streams; the save* helpers wrap them with file
+ * creation and report failure instead of throwing.
+ */
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "telemetry/recorder.hpp"
+
+namespace asd
+{
+
+/** One row per epoch; stable header first. */
+void writeTelemetryCsv(const std::vector<EpochRecord> &records,
+                       std::ostream &out);
+
+/** Complete asdsim/telemetry/v1 JSON document (includes SLH). */
+std::string telemetryJson(const std::vector<EpochRecord> &records);
+
+/** Chrome trace-event JSON ({"traceEvents": [...]}). */
+std::string telemetryChromeTrace(
+    const std::vector<EpochRecord> &records);
+
+// File helpers: create parent directories, write, flush.
+// @retval false on any I/O failure (after warn()).
+bool saveTelemetryCsv(const std::vector<EpochRecord> &records,
+                      const std::string &path);
+bool saveTelemetryJson(const std::vector<EpochRecord> &records,
+                       const std::string &path);
+bool saveTelemetryChromeTrace(const std::vector<EpochRecord> &records,
+                              const std::string &path);
+
+} // namespace asd
+
+#endif // ASD_TELEMETRY_SINKS_HPP

@@ -1,0 +1,42 @@
+#ifndef ASD_TELEMETRY_TELEMETRY_CONFIG_HPP
+#define ASD_TELEMETRY_TELEMETRY_CONFIG_HPP
+
+/**
+ * @file
+ * Configuration of the per-epoch telemetry recorder. Kept tiny and
+ * header-only so SystemConfig/RunOptions can embed it without pulling
+ * the recorder into every translation unit.
+ */
+
+#include <cstddef>
+
+namespace asd
+{
+
+/** Knobs of the per-epoch time-series recorder (off by default). */
+struct TelemetryConfig
+{
+    /**
+     * Master switch. Off (the default) means the recorder is never
+     * constructed and the simulation is byte-identical to a build
+     * without the telemetry layer.
+     */
+    bool enabled = false;
+
+    /**
+     * Include per-thread LHTcurr snapshots (both directions) in each
+     * epoch record — the general form of AsdPrefetcher's SLH history.
+     * Costs 2 * threads * Lm words per epoch.
+     */
+    bool capture_slh = true;
+
+    /**
+     * Stop recording after this many epochs (memory safety valve for
+     * very long runs); 0 = unlimited.
+     */
+    std::size_t max_epochs = 0;
+};
+
+} // namespace asd
+
+#endif // ASD_TELEMETRY_TELEMETRY_CONFIG_HPP

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/check.hpp"
 #include "common/random.hpp"
 #include "core/likelihood_table.hpp"
 #include "core/slh_math.hpp"
@@ -37,12 +38,53 @@ TEST(Lht, LongStreamsSaturateAtTableSize)
 
 TEST(Lht, RemoveStreamDecrementsWithClamp)
 {
+    // removeStream treats an underflow as an add/remove mismatch and
+    // panics under ASD_CHECK; checks off restores the silent clamp.
+    ScopedChecks off(false);
     LikelihoodTable table(8);
     table.recordStream(2);
     table.removeStream(5); // longer than anything recorded
     EXPECT_EQ(table.at(1), 0u);
     EXPECT_EQ(table.at(2), 0u);
     EXPECT_EQ(table.at(3), 0u); // clamped, no underflow
+}
+
+TEST(LhtDeathTest, RemoveStreamUnderflowPanicsUnderChecks)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    LikelihoodTable table(8);
+    table.recordStream(2);
+    EXPECT_DEATH(
+        {
+            ScopedChecks on(true);
+            table.removeStream(5);
+        },
+        "LHT underflow");
+}
+
+TEST(Lht, RemoveStreamSaturatingCountsClamps)
+{
+    LikelihoodTable table(8);
+    table.recordStream(2);
+    EXPECT_EQ(table.underflowClamps(), 0u);
+    table.removeStreamSaturating(5); // entries 3..5 were already 0
+    EXPECT_EQ(table.at(1), 0u);
+    EXPECT_EQ(table.at(3), 0u);
+    EXPECT_EQ(table.underflowClamps(), 3u);
+    table.removeStreamSaturating(1);
+    EXPECT_EQ(table.underflowClamps(), 4u);
+}
+
+TEST(Lht, PairStreamDiedSaturatesEvenUnderChecks)
+{
+    // Epoch-boundary depletion is *normal* (LHTcurr starts as a copy
+    // of the previous epoch's population, all-zero in epoch 1), so
+    // the pair's removal path must clamp-and-count, never panic.
+    ScopedChecks on(true);
+    LikelihoodTablePair pair(8);
+    pair.streamDied(3);
+    EXPECT_EQ(pair.underflowClamps(), 3u);
+    EXPECT_EQ(pair.next().at(3), 1u); // still recorded for next epoch
 }
 
 TEST(Lht, CountsAreMonotoneNonIncreasing)

@@ -403,9 +403,10 @@ TEST(Scheduler, MemorylessPrefersIssuableRead)
     ASSERT_TRUE(pick.has_value());
     EXPECT_FALSE(pick->from_write_queue);
     EXPECT_EQ(pick->index, 1u); // line 64: different, free bank
+    EXPECT_TRUE(pick->ready);
 }
 
-TEST(Scheduler, MemorylessFallsBackToOldest)
+TEST(Scheduler, MemorylessFallsBackToOldestTaggedNotReady)
 {
     DramConfig config;
     config.refresh_enabled = false;
@@ -416,6 +417,29 @@ TEST(Scheduler, MemorylessFallsBackToOldest)
     const auto pick = sched.pick(reads, {}, dram, 1, false);
     ASSERT_TRUE(pick.has_value());
     EXPECT_EQ(pick->index, 0u);
+    // Nothing issuable: the fallback is a preference only, and moving
+    // it into the FIFO CAQ would head-of-line block ready commands.
+    EXPECT_FALSE(pick->ready);
+}
+
+TEST(Mc, MemorylessHoldsBusyBankReadInReorderQueue)
+{
+    McConfig config;
+    config.scheduler = SchedulerKind::Memoryless;
+    Harness h(config);
+    ASSERT_TRUE(h.mc.enqueueRead(0, 1, 0, 0));
+    h.runTo(2); // the read is now occupying its bank
+    h.mc.resetQueueHighWater();
+    // Same bank as the in-flight read: not issuable right now.
+    ASSERT_TRUE(h.mc.enqueueRead(1, 2, 0, h.now));
+    h.runTo(h.now + 10);
+    // The not-ready fallback must stay in the read reorder queue
+    // (schedulable) instead of being parked in the FIFO CAQ.
+    EXPECT_EQ(h.mc.readQOccupancy(), 1u);
+    EXPECT_EQ(h.mc.caqHighWater(), 0u);
+    h.runTo(4000);
+    EXPECT_EQ(h.completions.size(), 2u);
+    EXPECT_TRUE(h.mc.idle());
 }
 
 TEST(Scheduler, AhbAvoidsRecentlyUsedBank)
@@ -432,6 +456,42 @@ TEST(Scheduler, AhbAvoidsRecentlyUsedBank)
     const auto pick = sched.pick(reads, {}, dram, 100, false);
     ASSERT_TRUE(pick.has_value());
     EXPECT_EQ(pick->index, 1u);
+}
+
+TEST(Scheduler, AhbTieBreakPicksOlderRegardlessOfQueueOrder)
+{
+    DramConfig config;
+    config.refresh_enabled = false;
+    Dram dram(config);
+    AhbScheduler sched;
+    // Two reads on distinct idle banks, no issue history: exactly
+    // equal cost. With integer fixed-point cost the tie is exact and
+    // the older command must win in either iteration order.
+    const auto old_first = makeQueue({{64, 5}, {128, 9}});
+    const auto young_first = makeQueue({{128, 9}, {64, 5}});
+
+    auto pick = sched.pick(old_first, {}, dram, 100, false);
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_EQ(old_first[pick->index].enqueued_at, 5u);
+
+    pick = sched.pick(young_first, {}, dram, 100, false);
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_EQ(young_first[pick->index].enqueued_at, 5u);
+}
+
+TEST(Scheduler, AhbTieBreakIsExactAcrossQueues)
+{
+    DramConfig config;
+    config.refresh_enabled = false;
+    Dram dram(config);
+    AhbScheduler sched;
+    // While draining, a write carries no penalty; with no history the
+    // costs tie exactly, so the older write beats the younger read.
+    const auto reads = makeQueue({{64, 9}});
+    const auto writes = makeQueue({{128, 5}}, true);
+    const auto pick = sched.pick(reads, writes, dram, 100, true);
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_TRUE(pick->from_write_queue);
 }
 
 TEST(Scheduler, AhbPrefersReadsUnderLowWritePressure)

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "common/random.hpp"
+#include "core/likelihood_table.hpp"
 #include "core/slh_math.hpp"
 
 namespace asd
@@ -57,6 +58,68 @@ TEST(SlhMath, DecisionMatchesPaperGemsExample)
     EXPECT_TRUE(shouldPrefetchNext(lht, 1));
     EXPECT_FALSE(shouldPrefetchNext(lht, 2));
     EXPECT_TRUE(shouldPrefetchNext(lht, 3));
+}
+
+TEST(SlhMath, GroundTruthTableForOneBasedIndexing)
+{
+    // The classic off-by-one here is evaluating inequality (5)/(6) on
+    // the 0-based counts vector with the paper's 1-based k: lht(k) is
+    // counts[k-1]. Pin every decision of a hand-evaluated table,
+    // including both boundaries (k = 1 and k past the table edge).
+    const std::vector<std::uint64_t> lht = {10, 8, 6, 1, 1};
+    struct Case
+    {
+        std::size_t k;
+        std::size_t d;
+        bool expect;
+    };
+    const Case cases[] = {
+        // d = 1: lht(k) < 2 * lht(k+1)
+        {1, 1, true},  // 10 < 16
+        {2, 1, true},  //  8 < 12
+        {3, 1, false}, //  6 < 2
+        {4, 1, true},  //  1 < 2
+        {5, 1, false}, //  1 < 0 (beyond the table)
+        {6, 1, false}, //  0 < 0
+        // d = 2: lht(k) < 2 * lht(k+2)
+        {1, 2, true},  // 10 < 12
+        {2, 2, false}, //  8 < 2
+        {3, 2, false}, //  6 < 2
+        {4, 2, false}, //  1 < 0
+    };
+    for (const Case &c : cases) {
+        EXPECT_EQ(shouldPrefetchDegree(lht, c.k, c.d), c.expect)
+            << "k=" << c.k << " d=" << c.d;
+        if (c.d == 1) {
+            EXPECT_EQ(shouldPrefetchNext(lht, c.k), c.expect)
+                << "k=" << c.k;
+        }
+    }
+}
+
+TEST(SlhMath, HardwareTableMatchesGroundTruthDecisions)
+{
+    // Build the same lht = {10, 8, 6, 1, 1} through the hardware
+    // table's stream-count updates: 2 streams of length 1, 2 of
+    // length 2, 5 of length 3, 1 of length 5.
+    LikelihoodTable table(5);
+    for (int i = 0; i < 2; ++i)
+        table.recordStream(1);
+    for (int i = 0; i < 2; ++i)
+        table.recordStream(2);
+    for (int i = 0; i < 5; ++i)
+        table.recordStream(3);
+    table.recordStream(5);
+    ASSERT_EQ(table.counts(),
+              (std::vector<std::uint64_t>{10, 8, 6, 1, 1}));
+    for (std::size_t k = 1; k <= 6; ++k) {
+        EXPECT_EQ(table.shouldPrefetch(k),
+                  shouldPrefetchNext(table.counts(), k))
+            << "k=" << k;
+        EXPECT_EQ(table.shouldPrefetch(k, 2),
+                  shouldPrefetchDegree(table.counts(), k, 2))
+            << "k=" << k;
+    }
 }
 
 TEST(SlhMath, InequalityFiveEquivalentToProbabilityComparison)

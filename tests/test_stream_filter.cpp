@@ -62,6 +62,68 @@ TEST(StreamFilter, NoFlipAfterDirectionCommitted)
     EXPECT_EQ(obs.kind, Kind::Allocated);
 }
 
+TEST(StreamFilter, AmbiguityExtensionBeatsSameLine)
+{
+    StreamFilter filter(4, 100, 100);
+    filter.observe(10, 0); // slot B allocated at 10
+    filter.observe(11, 1); // extends B: last 11, length 2
+    filter.observe(10, 2); // slot A allocated: last 10, length 1
+    // 11 is both A's extension (10 + 1) and B's last line. Extension
+    // must win over the same-line refresh regardless of slot order,
+    // and A's new last landing on B's retires B as a length-2 dead
+    // stream.
+    const StreamObservation obs = filter.observe(11, 3);
+    EXPECT_EQ(obs.kind, Kind::Extended);
+    EXPECT_EQ(obs.length, 2u);
+    EXPECT_EQ(obs.dir, StreamDir::Positive);
+    EXPECT_TRUE(obs.converged);
+    EXPECT_EQ(obs.converged_stream.length, 2u);
+    EXPECT_EQ(filter.liveStreams(), 1u);
+}
+
+TEST(StreamFilter, AmbiguityFlipBeatsSameLine)
+{
+    StreamFilter filter(4, 100, 100);
+    filter.observe(12, 0); // slot B allocated at 12
+    filter.observe(11, 1); // flips B negative: last 11, length 2
+    filter.observe(10, 2); // extends B: last 10, length 3
+    filter.observe(11, 3); // slot A allocated: last 11, length 1
+    // 10 is both A's direction-flip (11 - 1, length 1) and B's last
+    // line. The flip must win over the same-line refresh, and A's new
+    // last landing on B's retires B as a length-3 dead stream.
+    const StreamObservation obs = filter.observe(10, 4);
+    EXPECT_EQ(obs.kind, Kind::Extended);
+    EXPECT_EQ(obs.length, 2u);
+    EXPECT_EQ(obs.dir, StreamDir::Negative);
+    EXPECT_TRUE(obs.converged);
+    EXPECT_EQ(obs.converged_stream.length, 3u);
+    EXPECT_EQ(obs.converged_stream.dir, StreamDir::Negative);
+    EXPECT_EQ(filter.liveStreams(), 1u);
+}
+
+TEST(StreamFilter, ExtensionConvergesOntoOtherSlotsLastLine)
+{
+    StreamFilter filter(4, 100, 100);
+    filter.observe(29, 0); // slot C allocated at 29
+    filter.observe(28, 1); // flips C negative: last 28, length 2
+    filter.observe(30, 2); // slot B allocated: last 30, length 1
+    // 29 flips B (30 - 1) and touches no other slot's last line.
+    const StreamObservation flip = filter.observe(29, 3);
+    EXPECT_EQ(flip.kind, Kind::Extended);
+    EXPECT_EQ(flip.dir, StreamDir::Negative);
+    EXPECT_FALSE(flip.converged);
+    // 28 extends B downward and lands on C's last line: converge,
+    // retiring C so slot-last uniqueness stays a true invariant.
+    const StreamObservation obs = filter.observe(28, 4);
+    EXPECT_EQ(obs.kind, Kind::Extended);
+    EXPECT_EQ(obs.length, 3u);
+    EXPECT_EQ(obs.dir, StreamDir::Negative);
+    EXPECT_TRUE(obs.converged);
+    EXPECT_EQ(obs.converged_stream.length, 2u);
+    EXPECT_EQ(obs.converged_stream.dir, StreamDir::Negative);
+    EXPECT_EQ(filter.liveStreams(), 1u);
+}
+
 TEST(StreamFilter, SameLineRefreshesLifetime)
 {
     StreamFilter filter(4, 100, 100);
