@@ -14,6 +14,7 @@
  */
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -36,6 +37,7 @@ struct CliArgs
     bool csv = false;
     bool smt = false;
     bool list = false;
+    std::string json_path; //!< RunMetrics JSON path (empty = off)
     std::string telemetry_csv;   //!< per-epoch CSV path (empty = off)
     std::string telemetry_json;  //!< JSON time-series path
     std::string telemetry_trace; //!< Chrome trace-event path
@@ -71,6 +73,7 @@ usage()
         "  --accesses N           trace length override\n"
         "  --smt                  co-run two copies (SMT pair)\n"
         "  --csv                  emit one CSV row instead of a table\n"
+        "  --json PATH            also write RunMetrics JSON to PATH\n"
         "  --telemetry-csv PATH   write per-epoch telemetry CSV\n"
         "  --telemetry-json PATH  write per-epoch telemetry JSON\n"
         "  --telemetry-trace PATH write chrome://tracing JSON\n"
@@ -197,6 +200,8 @@ parseArgs(int argc, char **argv)
             args.smt = true;
         } else if (tok == "--csv") {
             args.csv = true;
+        } else if (tok == "--json") {
+            args.json_path = next();
         } else if (tok == "--telemetry-csv") {
             args.telemetry_csv = next();
             args.options.telemetry.enabled = true;
@@ -256,6 +261,13 @@ main(int argc, char **argv)
             saveTelemetryJson(epochs, args.telemetry_json);
         if (!args.telemetry_trace.empty())
             saveTelemetryChromeTrace(epochs, args.telemetry_trace);
+    }
+
+    if (!args.json_path.empty()) {
+        std::ofstream out(args.json_path, std::ios::binary);
+        if (!out)
+            fatal("cannot write " + args.json_path);
+        out << toJson(m) << "\n";
     }
 
     if (args.csv) {

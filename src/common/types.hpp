@@ -7,9 +7,36 @@
  */
 
 #include <cstdint>
+#include <type_traits>
+
+#include "common/log.hpp"
 
 namespace asd
 {
+
+/**
+ * Checked narrowing conversion: the lint-approved way to shrink a
+ * cycle/address-sized value (asdlint rule `narrowing-cast` flags the
+ * raw static_cast form). Panics when the value does not round-trip,
+ * so silent wrap-around can never corrupt bank indices or cycle
+ * deltas; the happy path costs one never-taken branch.
+ */
+template <typename To, typename From>
+constexpr To
+narrow(From value)
+{
+    static_assert(std::is_integral_v<To> && std::is_integral_v<From>,
+                  "narrow() is for integer conversions");
+    const To cast = static_cast<To>(value);
+    bool lost = static_cast<From>(cast) != value;
+    if constexpr (std::is_signed_v<From> && !std::is_signed_v<To>)
+        lost = lost || value < From{0};
+    else if constexpr (!std::is_signed_v<From> && std::is_signed_v<To>)
+        lost = lost || cast < To{0};
+    if (lost)
+        panic("narrow: value does not fit the target type");
+    return cast;
+}
 
 /** Physical byte address. */
 using Addr = std::uint64_t;

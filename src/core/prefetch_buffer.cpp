@@ -82,8 +82,8 @@ PrefetchBuffer::registerStats(StatRegistry &registry,
 std::uint32_t
 PrefetchBuffer::capacityLines() const
 {
-    return static_cast<std::uint32_t>(cache_.config().size_bytes /
-                                      cache_.config().line_bytes);
+    return narrow<std::uint32_t>(cache_.config().size_bytes /
+                                 cache_.config().line_bytes);
 }
 
 } // namespace asd

@@ -53,9 +53,9 @@ Dram::decode(LineAddr line) const
     switch (config_.addr_map) {
       case AddrMap::LineInterleaved: {
         // Consecutive lines stripe across all banks and channels.
-        split(static_cast<std::uint32_t>(line % total_banks));
+        split(narrow<std::uint32_t>(line % total_banks));
         const std::uint64_t unit = line / total_banks;
-        coord.col = static_cast<std::uint32_t>(unit % lines_per_row);
+        coord.col = narrow<std::uint32_t>(unit % lines_per_row);
         coord.row = unit / lines_per_row;
         return coord;
       }
@@ -63,15 +63,15 @@ Dram::decode(LineAddr line) const
       case AddrMap::XorPage: {
         // A full row of lines per bank, then the next bank — the
         // open-page mapping the Power5+ controller uses.
-        coord.col = static_cast<std::uint32_t>(line % lines_per_row);
+        coord.col = narrow<std::uint32_t>(line % lines_per_row);
         const std::uint64_t row_unit = line / lines_per_row;
         std::uint32_t bank_global =
-            static_cast<std::uint32_t>(row_unit % total_banks);
+            narrow<std::uint32_t>(row_unit % total_banks);
         coord.row = row_unit / total_banks;
         if (config_.addr_map == AddrMap::XorPage) {
             // Permutation-based interleaving: fold low row bits into
             // the bank index.
-            bank_global = static_cast<std::uint32_t>(
+            bank_global = narrow<std::uint32_t>(
                 (bank_global ^ coord.row) % total_banks);
         }
         split(bank_global);

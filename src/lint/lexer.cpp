@@ -1,0 +1,322 @@
+#include "lint/lexer.hpp"
+
+#include <cctype>
+
+namespace asd::lint
+{
+
+namespace
+{
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Multi-character punctuators, longest first for maximal munch. */
+constexpr std::string_view kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "<<", ">>",
+    "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=",
+    "%=",  "&=", "|=", "^=",
+};
+
+class Lexer
+{
+  public:
+    explicit Lexer(std::string_view source) : src_(source) {}
+
+    LexResult
+    run()
+    {
+        while (!eof())
+            step();
+        return std::move(result_);
+    }
+
+  private:
+    bool
+    eof() const
+    {
+        return pos_ >= src_.size();
+    }
+
+    char
+    peek(std::size_t ahead = 0) const
+    {
+        return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+    }
+
+    char
+    advance()
+    {
+        const char c = src_[pos_++];
+        if (c == '\n')
+            ++line_;
+        return c;
+    }
+
+    void
+    emit(TokenKind kind, std::string text, std::uint32_t line)
+    {
+        result_.tokens.push_back({kind, std::move(text), line});
+    }
+
+    /** True when a backslash-newline splice sits at the cursor. */
+    bool
+    atSplice() const
+    {
+        if (peek() != '\\')
+            return false;
+        std::size_t i = pos_ + 1;
+        while (i < src_.size() &&
+               (src_[i] == ' ' || src_[i] == '\t' || src_[i] == '\r'))
+            ++i;
+        return i < src_.size() && src_[i] == '\n';
+    }
+
+    void
+    skipSplice()
+    {
+        advance(); // backslash
+        while (!eof() && peek() != '\n')
+            advance();
+        if (!eof())
+            advance(); // newline
+    }
+
+    /** Scan a comment body and record any asdlint:allow markers. */
+    void
+    scanSuppressions(std::string_view body, std::uint32_t line)
+    {
+        constexpr std::string_view kMarker = "asdlint:allow(";
+        std::size_t at = body.find(kMarker);
+        while (at != std::string_view::npos) {
+            const std::size_t open = at + kMarker.size();
+            const std::size_t close = body.find(')', open);
+            if (close == std::string_view::npos)
+                break;
+            Suppression sup;
+            sup.line = line;
+            std::string name;
+            for (const char c : body.substr(open, close - open)) {
+                if (c == ',') {
+                    if (!name.empty())
+                        sup.rules.push_back(name);
+                    name.clear();
+                } else if (!std::isspace(static_cast<unsigned char>(c))) {
+                    name += c;
+                }
+            }
+            if (!name.empty())
+                sup.rules.push_back(name);
+            if (!sup.rules.empty())
+                result_.suppressions.push_back(std::move(sup));
+            at = body.find(kMarker, close);
+        }
+    }
+
+    void
+    lineComment()
+    {
+        const std::uint32_t line = line_;
+        const std::size_t start = pos_;
+        while (!eof() && peek() != '\n')
+            advance();
+        scanSuppressions(src_.substr(start, pos_ - start), line);
+    }
+
+    void
+    blockComment()
+    {
+        const std::uint32_t line = line_;
+        const std::size_t start = pos_;
+        while (!eof()) {
+            if (peek() == '*' && peek(1) == '/') {
+                scanSuppressions(src_.substr(start, pos_ - start), line);
+                advance();
+                advance();
+                return;
+            }
+            advance();
+        }
+        scanSuppressions(src_.substr(start, pos_ - start), line);
+    }
+
+    /** Quoted literal; the text is collected without the quotes. */
+    void
+    quoted(char quote, TokenKind kind)
+    {
+        const std::uint32_t line = line_;
+        advance(); // opening quote
+        std::string text;
+        while (!eof() && peek() != quote && peek() != '\n') {
+            if (peek() == '\\' && pos_ + 1 < src_.size()) {
+                text += advance();
+                text += advance();
+            } else {
+                text += advance();
+            }
+        }
+        if (!eof() && peek() == quote)
+            advance();
+        emit(kind, std::move(text), line);
+    }
+
+    /** R"delim( ... )delim" */
+    void
+    rawString()
+    {
+        const std::uint32_t line = line_;
+        advance(); // R
+        advance(); // "
+        std::string delim;
+        while (!eof() && peek() != '(')
+            delim += advance();
+        if (!eof())
+            advance(); // (
+        const std::string closer = ")" + delim + "\"";
+        std::string text;
+        while (!eof() && src_.compare(pos_, closer.size(), closer) != 0)
+            text += advance();
+        for (std::size_t i = 0; i < closer.size() && !eof(); ++i)
+            advance();
+        emit(TokenKind::String, std::move(text), line);
+    }
+
+    void
+    directive()
+    {
+        const std::uint32_t line = line_;
+        std::string text;
+        while (!eof() && peek() != '\n') {
+            if (atSplice()) {
+                skipSplice();
+                text += ' ';
+                continue;
+            }
+            if (peek() == '/' && peek(1) == '/') {
+                lineComment();
+                break;
+            }
+            if (peek() == '/' && peek(1) == '*') {
+                advance();
+                advance();
+                blockComment();
+                text += ' ';
+                continue;
+            }
+            text += advance();
+        }
+        emit(TokenKind::Directive, std::move(text), line);
+    }
+
+    void
+    number()
+    {
+        const std::uint32_t line = line_;
+        std::string text;
+        text += advance();
+        while (!eof()) {
+            const char c = peek();
+            if (isIdentChar(c) || c == '.' || c == '\'') {
+                text += advance();
+            } else if ((c == '+' || c == '-') && !text.empty() &&
+                       (text.back() == 'e' || text.back() == 'E' ||
+                        text.back() == 'p' || text.back() == 'P')) {
+                text += advance();
+            } else {
+                break;
+            }
+        }
+        emit(TokenKind::Number, std::move(text), line);
+    }
+
+    void
+    step()
+    {
+        const char c = peek();
+        if (c == '\\' && atSplice()) {
+            skipSplice();
+            return;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            advance();
+            return;
+        }
+        if (c == '/' && peek(1) == '/') {
+            advance();
+            advance();
+            lineComment();
+            return;
+        }
+        if (c == '/' && peek(1) == '*') {
+            advance();
+            advance();
+            blockComment();
+            return;
+        }
+        if (c == '#') {
+            directive();
+            return;
+        }
+        if (c == 'R' && peek(1) == '"') {
+            rawString();
+            return;
+        }
+        if (c == '"') {
+            quoted('"', TokenKind::String);
+            return;
+        }
+        if (c == '\'') {
+            quoted('\'', TokenKind::CharLit);
+            return;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && std::isdigit(static_cast<unsigned char>(
+                             peek(1))))) {
+            number();
+            return;
+        }
+        if (isIdentStart(c)) {
+            const std::uint32_t line = line_;
+            std::string text;
+            while (!eof() && isIdentChar(peek()))
+                text += advance();
+            emit(TokenKind::Identifier, std::move(text), line);
+            return;
+        }
+        for (const std::string_view punct : kPuncts) {
+            if (src_.compare(pos_, punct.size(), punct) == 0) {
+                const std::uint32_t line = line_;
+                for (std::size_t i = 0; i < punct.size(); ++i)
+                    advance();
+                emit(TokenKind::Punct, std::string(punct), line);
+                return;
+            }
+        }
+        const std::uint32_t line = line_;
+        emit(TokenKind::Punct, std::string(1, advance()), line);
+    }
+
+    std::string_view src_;
+    std::size_t pos_ = 0;
+    std::uint32_t line_ = 1;
+    LexResult result_;
+};
+
+} // namespace
+
+LexResult
+lex(std::string_view source)
+{
+    return Lexer(source).run();
+}
+
+} // namespace asd::lint

@@ -1,0 +1,218 @@
+#include "lint/linter.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/json.hpp"
+#include "common/log.hpp"
+#include "lint/lexer.hpp"
+
+namespace asd::lint
+{
+
+namespace
+{
+
+bool
+suppresses(const Suppression &sup, const Diagnostic &diag)
+{
+    if (diag.line != sup.line && diag.line != sup.line + 1)
+        return false;
+    for (const std::string &rule : sup.rules)
+        if (rule == "*" || rule == diag.rule)
+            return true;
+    return false;
+}
+
+void
+sortDiagnostics(std::vector<Diagnostic> &diagnostics)
+{
+    std::sort(diagnostics.begin(), diagnostics.end(),
+              [](const Diagnostic &a, const Diagnostic &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+}
+
+} // namespace
+
+std::vector<Diagnostic>
+lintSource(const std::string &path, std::string_view content,
+           const LintOptions &options)
+{
+    LexResult lexed = lex(content);
+    SourceFile file{path, std::move(lexed.tokens)};
+
+    std::vector<Diagnostic> raw;
+    for (const Rule &rule : ruleRegistry()) {
+        if (!options.only_rules.empty() &&
+            std::find(options.only_rules.begin(),
+                      options.only_rules.end(),
+                      rule.name) == options.only_rules.end())
+            continue;
+        rule.check(file, raw);
+    }
+
+    std::vector<Diagnostic> kept;
+    kept.reserve(raw.size());
+    for (Diagnostic &diag : raw) {
+        const bool allowed = std::any_of(
+            lexed.suppressions.begin(), lexed.suppressions.end(),
+            [&](const Suppression &sup) {
+                return suppresses(sup, diag);
+            });
+        if (!allowed)
+            kept.push_back(std::move(diag));
+    }
+    sortDiagnostics(kept);
+    return kept;
+}
+
+std::vector<Diagnostic>
+lintFile(const std::string &display_path, const std::string &fs_path,
+         const LintOptions &options)
+{
+    std::ifstream in(fs_path, std::ios::binary);
+    if (!in)
+        fatal("asdlint: cannot read " + fs_path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return lintSource(display_path, buffer.str(), options);
+}
+
+std::vector<std::string>
+collectSources(const std::string &path)
+{
+    namespace fs = std::filesystem;
+    const auto lintable = [](const fs::path &p) {
+        const std::string ext = p.extension().string();
+        return ext == ".hpp" || ext == ".h" || ext == ".cpp" ||
+               ext == ".cc";
+    };
+    std::vector<std::string> out;
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+        for (fs::recursive_directory_iterator it(path, ec), end;
+             it != end && !ec; it.increment(ec)) {
+            if (it->is_regular_file(ec) && lintable(it->path()))
+                out.push_back(it->path().generic_string());
+        }
+    } else if (fs::is_regular_file(path, ec)) {
+        out.push_back(fs::path(path).generic_string());
+    } else {
+        fatal("asdlint: no such file or directory: " + path);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+BaselineCounts
+countByFileRule(const std::vector<Diagnostic> &diagnostics)
+{
+    BaselineCounts counts;
+    for (const Diagnostic &diag : diagnostics)
+        ++counts[{diag.file, diag.rule}];
+    return counts;
+}
+
+BaselineCounts
+loadBaseline(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("asdlint: cannot read baseline " + path);
+    BaselineCounts counts;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty() || line[0] == '#')
+            continue;
+        const std::size_t tab1 = line.find('\t');
+        const std::size_t tab2 =
+            tab1 == std::string::npos ? std::string::npos
+                                      : line.find('\t', tab1 + 1);
+        if (tab2 == std::string::npos)
+            fatal("asdlint: malformed baseline line " +
+                  std::to_string(lineno) + " in " + path);
+        const std::string file = line.substr(0, tab1);
+        const std::string rule =
+            line.substr(tab1 + 1, tab2 - tab1 - 1);
+        const std::size_t count = static_cast<std::size_t>(
+            std::stoull(line.substr(tab2 + 1)));
+        counts[{file, rule}] += count;
+    }
+    return counts;
+}
+
+std::string
+formatBaseline(const BaselineCounts &counts)
+{
+    std::string out =
+        "# asdlint baseline: file<TAB>rule<TAB>count, regenerate "
+        "with\n"
+        "#   asdlint --write-baseline tools/asdlint_baseline.txt "
+        "src bench examples tests\n";
+    for (const auto &[key, count] : counts)
+        out += key.first + "\t" + key.second + "\t" +
+               std::to_string(count) + "\n";
+    return out;
+}
+
+std::vector<Diagnostic>
+aboveBaseline(const std::vector<Diagnostic> &diagnostics,
+              const BaselineCounts &baseline)
+{
+    // diagnostics are sorted per file; skip the first baseline[key]
+    // findings of each (file, rule) so longstanding counts pass while
+    // anything new fails.
+    BaselineCounts seen;
+    std::vector<Diagnostic> fresh;
+    for (const Diagnostic &diag : diagnostics) {
+        const auto key = std::make_pair(diag.file, diag.rule);
+        const auto allowed = baseline.find(key);
+        const std::size_t budget =
+            allowed == baseline.end() ? 0 : allowed->second;
+        if (seen[key]++ >= budget)
+            fresh.push_back(diag);
+    }
+    return fresh;
+}
+
+std::string
+reportJson(const std::vector<Diagnostic> &diagnostics,
+           std::size_t files_scanned)
+{
+    std::size_t errors = 0;
+    std::size_t warnings = 0;
+    for (const Diagnostic &diag : diagnostics)
+        (diag.severity == Severity::Error ? errors : warnings) += 1;
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("asdlint/v1");
+    w.key("files_scanned")
+        .value(static_cast<std::uint64_t>(files_scanned));
+    w.key("errors").value(static_cast<std::uint64_t>(errors));
+    w.key("warnings").value(static_cast<std::uint64_t>(warnings));
+    w.key("diagnostics").beginArray();
+    for (const Diagnostic &diag : diagnostics) {
+        w.beginObject();
+        w.key("file").value(diag.file);
+        w.key("line").value(static_cast<std::uint64_t>(diag.line));
+        w.key("rule").value(diag.rule);
+        w.key("severity").value(severityName(diag.severity));
+        w.key("message").value(diag.message);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+} // namespace asd::lint

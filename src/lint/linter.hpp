@@ -1,0 +1,90 @@
+#ifndef ASD_LINT_LINTER_HPP
+#define ASD_LINT_LINTER_HPP
+
+/**
+ * @file
+ * The asdlint driver: lex a source, run the rule pack, honor
+ * `// asdlint:allow(rule)` suppressions, compare against a committed
+ * baseline, and render reports (text is the CLI's job; JSON comes
+ * from here via common/json).
+ */
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "lint/diagnostic.hpp"
+#include "lint/rules.hpp"
+
+namespace asd::lint
+{
+
+/** Linter configuration. */
+struct LintOptions
+{
+    /** Run only these rules; empty means the whole registry. */
+    std::vector<std::string> only_rules;
+};
+
+/**
+ * Lint one in-memory source. @p path is the repo-relative path used
+ * for path-scoped rules and diagnostics; it need not exist on disk
+ * (the unit tests feed fixture strings).
+ */
+std::vector<Diagnostic> lintSource(const std::string &path,
+                                   std::string_view content,
+                                   const LintOptions &options = {});
+
+/**
+ * Lint a file on disk. @p display_path is used in diagnostics;
+ * @p fs_path is read. Fatal on unreadable files.
+ */
+std::vector<Diagnostic> lintFile(const std::string &display_path,
+                                 const std::string &fs_path,
+                                 const LintOptions &options = {});
+
+/**
+ * Recursively collect lintable sources (.hpp/.h/.cpp/.cc) under
+ * @p path (file or directory), sorted for deterministic output.
+ * Returned paths are filesystem paths.
+ */
+std::vector<std::string> collectSources(const std::string &path);
+
+/**
+ * Violation counts keyed by (file, rule) — the baseline currency.
+ * Only counts survive edits to unrelated lines, so a committed
+ * baseline does not rot every time line numbers shift.
+ */
+using BaselineCounts =
+    std::map<std::pair<std::string, std::string>, std::size_t>;
+
+/** Aggregate @p diagnostics into per-(file, rule) counts. */
+BaselineCounts countByFileRule(
+    const std::vector<Diagnostic> &diagnostics);
+
+/**
+ * Parse a baseline file: `file<TAB>rule<TAB>count` lines, '#'
+ * comments and blank lines ignored. Fatal on malformed lines.
+ */
+BaselineCounts loadBaseline(const std::string &path);
+
+/** Serialize @p counts in the loadBaseline() format. */
+std::string formatBaseline(const BaselineCounts &counts);
+
+/**
+ * Diagnostics in excess of the baseline: for each (file, rule), the
+ * first `count - baseline[file, rule]` findings (by line) are new.
+ */
+std::vector<Diagnostic> aboveBaseline(
+    const std::vector<Diagnostic> &diagnostics,
+    const BaselineCounts &baseline);
+
+/** JSON report (schema asdlint/v1) for @p diagnostics. */
+std::string reportJson(const std::vector<Diagnostic> &diagnostics,
+                       std::size_t files_scanned);
+
+} // namespace asd::lint
+
+#endif // ASD_LINT_LINTER_HPP

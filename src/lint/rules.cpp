@@ -1,0 +1,534 @@
+#include "lint/rules.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <string_view>
+
+namespace asd::lint
+{
+
+namespace
+{
+
+std::string
+toLower(std::string_view text)
+{
+    std::string out(text);
+    std::transform(out.begin(), out.end(), out.begin(), [](char c) {
+        return static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    });
+    return out;
+}
+
+bool
+containsNoCase(std::string_view haystack, std::string_view needle)
+{
+    return toLower(haystack).find(toLower(needle)) != std::string::npos;
+}
+
+bool
+isIdent(const Token &tok, std::string_view text)
+{
+    return tok.kind == TokenKind::Identifier && tok.text == text;
+}
+
+bool
+isPunct(const Token &tok, std::string_view text)
+{
+    return tok.kind == TokenKind::Punct && tok.text == text;
+}
+
+/**
+ * @return the quoted path of an `#include "..."` directive, or an
+ * empty string for system includes and non-include directives.
+ */
+std::string
+quotedInclude(const Token &tok)
+{
+    if (tok.kind != TokenKind::Directive)
+        return {};
+    std::size_t i = 0;
+    const std::string &text = tok.text;
+    auto skipWs = [&] {
+        while (i < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[i])))
+            ++i;
+    };
+    if (i < text.size() && text[i] == '#')
+        ++i;
+    skipWs();
+    if (text.compare(i, 7, "include") != 0)
+        return {};
+    i += 7;
+    skipWs();
+    if (i >= text.size() || text[i] != '"')
+        return {};
+    const std::size_t close = text.find('"', i + 1);
+    if (close == std::string::npos)
+        return {};
+    return text.substr(i + 1, close - i - 1);
+}
+
+/** @return the angle-bracket or quoted path of any include. */
+std::string
+anyInclude(const Token &tok)
+{
+    const std::string quoted = quotedInclude(tok);
+    if (!quoted.empty())
+        return quoted;
+    if (tok.kind != TokenKind::Directive)
+        return {};
+    const std::size_t open = tok.text.find('<');
+    const std::size_t close = tok.text.find('>', open);
+    if (tok.text.find("include") == std::string::npos ||
+        open == std::string::npos || close == std::string::npos)
+        return {};
+    return tok.text.substr(open + 1, close - open - 1);
+}
+
+/**
+ * Advance past a balanced token group. @p open_index points at the
+ * opening token; returns the index one past the matching closer, or
+ * tokens.size() when unbalanced.
+ */
+std::size_t
+skipBalanced(const std::vector<Token> &tokens, std::size_t open_index,
+             std::string_view open, std::string_view close)
+{
+    int depth = 0;
+    for (std::size_t i = open_index; i < tokens.size(); ++i) {
+        if (isPunct(tokens[i], open))
+            ++depth;
+        else if (isPunct(tokens[i], close) && --depth == 0)
+            return i + 1;
+    }
+    return tokens.size();
+}
+
+// --- float-in-cost-path --------------------------------------------
+
+/**
+ * Files where floating-point arithmetic broke determinism before (the
+ * AHB tie-break bug) or would: scheduler cost functions and DRAM bank
+ * timing. The energy model (dram/power, dram_config energy fields)
+ * and the paper's SLH probability math stay on double by design.
+ */
+constexpr std::string_view kCostPathFiles[] = {
+    "src/mc/scheduler.hpp",
+    "src/mc/scheduler.cpp",
+    "src/core/adaptive_scheduler.hpp",
+    "src/core/adaptive_scheduler.cpp",
+    "src/dram/dram.hpp",
+    "src/dram/dram.cpp",
+};
+
+void
+checkFloatInCostPath(const SourceFile &file,
+                     std::vector<Diagnostic> &out)
+{
+    const bool covered =
+        std::find(std::begin(kCostPathFiles), std::end(kCostPathFiles),
+                  file.path) != std::end(kCostPathFiles);
+    if (!covered)
+        return;
+    for (const Token &tok : file.tokens) {
+        if (isIdent(tok, "float") || isIdent(tok, "double")) {
+            out.push_back(
+                {file.path, tok.line, "float-in-cost-path",
+                 Severity::Error,
+                 "'" + tok.text +
+                     "' in a scheduler/DRAM-timing cost path; use "
+                     "integer fixed-point (1/8-cycle units) so ties "
+                     "compare exactly"});
+        }
+    }
+}
+
+// --- unordered-iteration -------------------------------------------
+
+constexpr std::string_view kUnorderedTypes[] = {
+    "unordered_map",
+    "unordered_set",
+    "unordered_multimap",
+    "unordered_multiset",
+};
+
+constexpr std::string_view kEmittingIncludes[] = {
+    "iostream", "ostream",          "fstream",
+    "cstdio",   "stdio.h",          "common/json.hpp",
+    "common/table.hpp",             "common/stats.hpp",
+    "telemetry/sinks.hpp",
+};
+
+constexpr std::string_view kEmittingIdents[] = {
+    "cout",    "cerr",   "printf", "fprintf",
+    "ofstream", "JsonWriter", "Table",
+};
+
+bool
+isEmittingTu(const SourceFile &file)
+{
+    for (const Token &tok : file.tokens) {
+        const std::string inc = anyInclude(tok);
+        if (!inc.empty()) {
+            for (const std::string_view e : kEmittingIncludes)
+                if (inc == e)
+                    return true;
+        }
+        if (tok.kind == TokenKind::Identifier) {
+            for (const std::string_view e : kEmittingIdents)
+                if (tok.text == e)
+                    return true;
+        }
+    }
+    return false;
+}
+
+void
+checkUnorderedIteration(const SourceFile &file,
+                        std::vector<Diagnostic> &out)
+{
+    if (!isEmittingTu(file))
+        return;
+    const std::vector<Token> &toks = file.tokens;
+
+    // Pass 1: names declared with an unordered container type.
+    std::vector<std::string> containers;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const bool is_unordered = std::any_of(
+            std::begin(kUnorderedTypes), std::end(kUnorderedTypes),
+            [&](std::string_view t) { return isIdent(toks[i], t); });
+        if (!is_unordered || i + 1 >= toks.size() ||
+            !isPunct(toks[i + 1], "<"))
+            continue;
+        std::size_t after = i + 1;
+        int depth = 0;
+        for (; after < toks.size(); ++after) {
+            if (isPunct(toks[after], "<"))
+                ++depth;
+            else if (isPunct(toks[after], ">") && --depth == 0) {
+                ++after;
+                break;
+            }
+        }
+        while (after < toks.size() &&
+               (isPunct(toks[after], "&") || isPunct(toks[after], "*")))
+            ++after;
+        if (after < toks.size() &&
+            toks[after].kind == TokenKind::Identifier)
+            containers.push_back(toks[after].text);
+    }
+    if (containers.empty())
+        return;
+    auto isContainer = [&](const Token &tok) {
+        return tok.kind == TokenKind::Identifier &&
+               std::find(containers.begin(), containers.end(),
+                         tok.text) != containers.end();
+    };
+    auto diagnose = [&](std::uint32_t line, const std::string &name) {
+        out.push_back(
+            {file.path, line, "unordered-iteration", Severity::Error,
+             "iterating unordered container '" + name +
+                 "' in an output-emitting translation unit; hash "
+                 "order is not deterministic — copy to a sorted "
+                 "container first"});
+    };
+
+    // Pass 2a: range-for whose range expression names a container.
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (!isIdent(toks[i], "for") || !isPunct(toks[i + 1], "("))
+            continue;
+        const std::size_t end = skipBalanced(toks, i + 1, "(", ")");
+        // Find the range-for ':' at depth 1 (a ';' first means the
+        // classic three-clause form; a '?' first starts a ternary).
+        int depth = 0;
+        int pending_ternary = 0;
+        std::size_t colon = 0;
+        for (std::size_t j = i + 1; j < end && colon == 0; ++j) {
+            if (isPunct(toks[j], "("))
+                ++depth;
+            else if (isPunct(toks[j], ")"))
+                --depth;
+            else if (depth == 1 && isPunct(toks[j], ";"))
+                break;
+            else if (depth == 1 && isPunct(toks[j], "?"))
+                ++pending_ternary;
+            else if (depth == 1 && isPunct(toks[j], ":")) {
+                if (pending_ternary > 0)
+                    --pending_ternary;
+                else
+                    colon = j;
+            }
+        }
+        if (colon == 0)
+            continue;
+        for (std::size_t j = colon + 1; j + 1 < end; ++j) {
+            if (isContainer(toks[j])) {
+                diagnose(toks[i].line, toks[j].text);
+                break;
+            }
+        }
+    }
+
+    // Pass 2b: explicit iterator walks (name.begin() and friends).
+    constexpr std::string_view kBeginNames[] = {"begin", "cbegin",
+                                                "rbegin", "crbegin"};
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (isContainer(toks[i]) && isPunct(toks[i + 1], ".") &&
+            std::any_of(std::begin(kBeginNames),
+                        std::end(kBeginNames),
+                        [&](std::string_view b) {
+                            return isIdent(toks[i + 2], b);
+                        }))
+            diagnose(toks[i].line, toks[i].text);
+    }
+}
+
+// --- raw-random ----------------------------------------------------
+
+constexpr std::string_view kRawRandomNames[] = {
+    "rand",          "srand",      "rand_r",
+    "drand48",       "lrand48",    "random_device",
+    "mt19937",       "mt19937_64", "minstd_rand",
+    "minstd_rand0",  "knuth_b",    "default_random_engine",
+};
+
+void
+checkRawRandom(const SourceFile &file, std::vector<Diagnostic> &out)
+{
+    if (file.path.rfind("src/common/random", 0) == 0)
+        return;
+    for (const Token &tok : file.tokens) {
+        if (tok.kind != TokenKind::Identifier)
+            continue;
+        for (const std::string_view name : kRawRandomNames) {
+            if (tok.text == name) {
+                out.push_back(
+                    {file.path, tok.line, "raw-random",
+                     Severity::Error,
+                     "'" + tok.text +
+                         "' is not reproducible across platforms; "
+                         "use asd::Rng from common/random"});
+                break;
+            }
+        }
+    }
+}
+
+// --- narrowing-cast ------------------------------------------------
+
+constexpr std::string_view kNarrowTargets[] = {
+    "int8_t",  "int16_t",  "int32_t", "uint8_t",
+    "uint16_t", "uint32_t", "short",
+};
+
+constexpr std::string_view kWideValueHints[] = {
+    "addr", "line", "cycle", "page", "frame", "row",
+};
+
+bool
+isNarrowTargetType(const std::vector<Token> &toks, std::size_t begin,
+                   std::size_t end)
+{
+    bool narrow = false;
+    for (std::size_t i = begin; i < end; ++i) {
+        const Token &tok = toks[i];
+        if (tok.kind != TokenKind::Identifier)
+            continue;
+        if (tok.text == "double" || tok.text == "float" ||
+            tok.text.find("64") != std::string::npos ||
+            tok.text == "size_t" || tok.text == "long")
+            return false;
+        if (std::find(std::begin(kNarrowTargets),
+                      std::end(kNarrowTargets),
+                      tok.text) != std::end(kNarrowTargets) ||
+            tok.text == "int" || tok.text == "unsigned")
+            narrow = true;
+    }
+    return narrow;
+}
+
+void
+checkNarrowingCast(const SourceFile &file,
+                   std::vector<Diagnostic> &out)
+{
+    const std::vector<Token> &toks = file.tokens;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (!isIdent(toks[i], "static_cast") ||
+            !isPunct(toks[i + 1], "<"))
+            continue;
+        const std::size_t type_end = skipBalanced(toks, i + 1, "<", ">");
+        if (type_end >= toks.size() ||
+            !isPunct(toks[type_end], "("))
+            continue;
+        const std::size_t args_end =
+            skipBalanced(toks, type_end, "(", ")");
+        if (!isNarrowTargetType(toks, i + 2, type_end - 1))
+            continue;
+        for (std::size_t j = type_end + 1; j + 1 < args_end; ++j) {
+            if (toks[j].kind != TokenKind::Identifier)
+                continue;
+            const bool wide_hint = std::any_of(
+                std::begin(kWideValueHints), std::end(kWideValueHints),
+                [&](std::string_view h) {
+                    return containsNoCase(toks[j].text, h);
+                });
+            if (wide_hint) {
+                out.push_back(
+                    {file.path, toks[i].line, "narrowing-cast",
+                     Severity::Warning,
+                     "static_cast narrows '" + toks[j].text +
+                         "' to a sub-64-bit integer; use "
+                         "asd::narrow<T>() so truncation panics "
+                         "instead of wrapping"});
+                break;
+            }
+        }
+    }
+}
+
+// --- layer-include -------------------------------------------------
+
+/**
+ * Module layering, lowest first — the add_subdirectory order in
+ * src/CMakeLists.txt. A file may include its own layer or lower.
+ */
+constexpr std::string_view kLayerOrder[] = {
+    "common", "lint",  "trace",    "vm",       "dram",
+    "cache",  "mc",    "core",     "prefetch", "telemetry",
+    "cpu",    "workloads", "sim",  "runner",
+};
+
+int
+layerRank(std::string_view module)
+{
+    for (std::size_t i = 0; i < std::size(kLayerOrder); ++i)
+        if (kLayerOrder[i] == module)
+            return static_cast<int>(i);
+    return -1;
+}
+
+/** @return the first path component after an optional "src/". */
+std::string
+moduleOf(std::string_view path)
+{
+    if (path.rfind("src/", 0) == 0)
+        path.remove_prefix(4);
+    const std::size_t slash = path.find('/');
+    return std::string(
+        slash == std::string_view::npos ? path
+                                        : path.substr(0, slash));
+}
+
+void
+checkLayerInclude(const SourceFile &file,
+                  std::vector<Diagnostic> &out)
+{
+    if (file.path.rfind("src/", 0) != 0)
+        return; // benches/tests/examples may include anything
+    const int own_rank = layerRank(moduleOf(file.path));
+    if (own_rank < 0)
+        return;
+    for (const Token &tok : file.tokens) {
+        const std::string inc = quotedInclude(tok);
+        if (inc.empty())
+            continue;
+        const int inc_rank = layerRank(moduleOf(inc));
+        if (inc_rank > own_rank) {
+            out.push_back(
+                {file.path, tok.line, "layer-include", Severity::Error,
+                 "include of \"" + inc + "\" points up the layering (" +
+                     moduleOf(file.path) + " -> " + moduleOf(inc) +
+                     "); invert the dependency or move the shared "
+                     "piece down"});
+        }
+    }
+}
+
+// --- check-side-effect ---------------------------------------------
+
+constexpr std::string_view kCheckCallNames[] = {
+    "checkThat",
+    "panicIfNot",
+    "ASD_CHECK",
+    "assert",
+};
+
+constexpr std::string_view kMutatingOps[] = {
+    "++", "--", "=",  "+=", "-=",  "*=",  "/=",
+    "%=", "&=", "|=", "^=", "<<=", ">>=",
+};
+
+void
+checkCheckSideEffect(const SourceFile &file,
+                     std::vector<Diagnostic> &out)
+{
+    const std::vector<Token> &toks = file.tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        const bool is_check = std::any_of(
+            std::begin(kCheckCallNames), std::end(kCheckCallNames),
+            [&](std::string_view n) { return isIdent(toks[i], n); });
+        if (!is_check || !isPunct(toks[i + 1], "("))
+            continue;
+        const std::size_t end = skipBalanced(toks, i + 1, "(", ")");
+        for (std::size_t j = i + 2; j + 1 < end; ++j) {
+            const bool mutating =
+                toks[j].kind == TokenKind::Punct &&
+                std::find(std::begin(kMutatingOps),
+                          std::end(kMutatingOps),
+                          toks[j].text) != std::end(kMutatingOps);
+            if (mutating) {
+                out.push_back(
+                    {file.path, toks[j].line, "check-side-effect",
+                     Severity::Error,
+                     "'" + toks[j].text + "' inside " + toks[i].text +
+                         "(...) mutates state; invariant checks must "
+                         "be side-effect free (they vanish when "
+                         "checks are off)"});
+                break;
+            }
+        }
+        i = end > i ? end - 1 : i;
+    }
+}
+
+} // namespace
+
+const std::vector<Rule> &
+ruleRegistry()
+{
+    static const std::vector<Rule> rules = {
+        {"check-side-effect", Severity::Error,
+         "no mutation inside checkThat/panicIfNot/assert arguments",
+         checkCheckSideEffect},
+        {"float-in-cost-path", Severity::Error,
+         "no float/double in scheduler or DRAM-timing cost paths",
+         checkFloatInCostPath},
+        {"layer-include", Severity::Error,
+         "includes must not point up the src/ module layering",
+         checkLayerInclude},
+        {"narrowing-cast", Severity::Warning,
+         "cycle/address values need asd::narrow<T>(), not static_cast",
+         checkNarrowingCast},
+        {"raw-random", Severity::Error,
+         "randomness outside common/random is not reproducible",
+         checkRawRandom},
+        {"unordered-iteration", Severity::Error,
+         "no unordered-container iteration in emitting TUs",
+         checkUnorderedIteration},
+    };
+    return rules;
+}
+
+const Rule *
+findRule(const std::string &name)
+{
+    for (const Rule &rule : ruleRegistry())
+        if (rule.name == name)
+            return &rule;
+    return nullptr;
+}
+
+} // namespace asd::lint

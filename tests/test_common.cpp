@@ -1,18 +1,24 @@
 /**
  * @file
  * Unit and property tests for the common substrate: RNG, alias-method
- * sampler, histogram, stat registry and table printer.
+ * sampler, histogram, stat registry, table printer, JSON edge cases,
+ * and the checked narrow() conversion.
  */
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <sstream>
+#include <string>
 
 #include <gtest/gtest.h>
 
 #include "common/histogram.hpp"
+#include "common/json.hpp"
 #include "common/random.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "common/types.hpp"
 
 namespace asd
 {
@@ -257,6 +263,103 @@ TEST(Table, NumFormatsPrecision)
 {
     EXPECT_EQ(Table::num(3.14159, 2), "3.14");
     EXPECT_EQ(Table::num(2.0), "2.0");
+}
+
+// Edge cases surfaced while building the asdlint JSON sink: escaping
+// of backslash and control characters, 64-bit extremes, and deep
+// nesting against the checker's recursion cap.
+
+TEST(Json, EscapesBackslashQuoteAndControlChars)
+{
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("say \"hi\""), "say \\\"hi\\\"");
+    EXPECT_EQ(jsonEscape("tab\there"), "tab\\there");
+    EXPECT_EQ(jsonEscape("nl\nend"), "nl\\nend");
+    EXPECT_EQ(jsonEscape(std::string("nul\0!", 5)), "nul\\u0000!");
+    EXPECT_EQ(jsonEscape("\x01\x1f"), "\\u0001\\u001f");
+    // A Windows-style path survives a writer -> checker round trip.
+    JsonWriter w;
+    w.beginObject().key("path").value("C:\\tmp\\x.json").endObject();
+    EXPECT_EQ(w.str(), "{\"path\":\"C:\\\\tmp\\\\x.json\"}");
+    EXPECT_TRUE(jsonParseCheck(w.str()));
+}
+
+TEST(Json, Uint64MaxRoundTrips)
+{
+    JsonWriter w;
+    w.beginObject()
+        .key("max")
+        .value(std::numeric_limits<std::uint64_t>::max())
+        .key("min")
+        .value(std::numeric_limits<std::int64_t>::min())
+        .endObject();
+    EXPECT_EQ(w.str(), "{\"max\":18446744073709551615,"
+                       "\"min\":-9223372036854775808}");
+    EXPECT_TRUE(jsonParseCheck(w.str()));
+}
+
+TEST(Json, DeeplyNestedArraysWithinCheckerCap)
+{
+    std::string doc;
+    for (int i = 0; i < 100; ++i)
+        doc += '[';
+    doc += '1';
+    for (int i = 0; i < 100; ++i)
+        doc += ']';
+    EXPECT_TRUE(jsonParseCheck(doc));
+}
+
+TEST(Json, AbsurdNestingIsRejectedNotOverflowed)
+{
+    std::string doc;
+    for (int i = 0; i < 100000; ++i)
+        doc += '[';
+    doc += '1';
+    for (int i = 0; i < 100000; ++i)
+        doc += ']';
+    // The checker bounds recursion depth instead of crashing; a
+    // 100k-deep document is rejected as unparseable.
+    EXPECT_FALSE(jsonParseCheck(doc));
+}
+
+TEST(Json, WriterHandlesDeepNestingAndEmptyContainers)
+{
+    JsonWriter w;
+    for (int i = 0; i < 64; ++i)
+        w.beginArray();
+    w.beginObject().endObject();
+    for (int i = 0; i < 64; ++i)
+        w.endArray();
+    EXPECT_TRUE(jsonParseCheck(w.str()));
+    EXPECT_EQ(w.str().substr(0, 10), "[[[[[[[[[[");
+}
+
+// --- narrow() ------------------------------------------------------
+
+TEST(Narrow, RoundTripsInRangeValues)
+{
+    EXPECT_EQ(narrow<std::uint32_t>(std::uint64_t{0}), 0u);
+    EXPECT_EQ(narrow<std::uint32_t>(std::uint64_t{0xffffffffULL}),
+              0xffffffffu);
+    EXPECT_EQ(narrow<std::int32_t>(std::int64_t{-5}), -5);
+    EXPECT_EQ(narrow<std::uint8_t>(255u), 255u);
+    // Widening and identity conversions are fine too.
+    EXPECT_EQ(narrow<std::uint64_t>(std::uint32_t{7}), 7u);
+}
+
+TEST(NarrowDeathTest, PanicsOnTruncation)
+{
+    EXPECT_DEATH(narrow<std::uint32_t>(std::uint64_t{1} << 32),
+                 "narrow");
+    EXPECT_DEATH(narrow<std::uint8_t>(256u), "narrow");
+}
+
+TEST(NarrowDeathTest, PanicsOnSignMismatch)
+{
+    EXPECT_DEATH(narrow<std::uint32_t>(std::int64_t{-1}), "narrow");
+    EXPECT_DEATH(
+        narrow<std::int32_t>(std::uint64_t{0xffffffff80000000ULL}),
+        "narrow");
 }
 
 } // namespace

@@ -64,8 +64,9 @@ TEST(Telemetry, RecordsOneRecordPerEpoch)
         const EpochRecord &rec = epochs[i];
         EXPECT_EQ(rec.epoch, i + 1);
         EXPECT_LT(rec.start_cycle, rec.end_cycle);
-        if (i > 0)
+        if (i > 0) {
             EXPECT_EQ(rec.start_cycle, epochs[i - 1].end_cycle);
+        }
         // Epochs are 2000 MC reads by construction.
         EXPECT_EQ(rec.reads, 2000u);
         EXPECT_GE(rec.policy, 1);

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * asdlint — the project's static-analysis gate. Lints C++ sources
+ * with the rule pack in src/lint/rules.cpp and fails (exit 1) on any
+ * unsuppressed violation not covered by the committed baseline.
+ *
+ * Examples:
+ *   asdlint src bench examples tests
+ *   asdlint --baseline tools/asdlint_baseline.txt src
+ *   asdlint --rule raw-random --json report.json src
+ *   asdlint --write-baseline tools/asdlint_baseline.txt src bench
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/log.hpp"
+#include "lint/linter.hpp"
+
+namespace
+{
+
+using namespace asd;
+using namespace asd::lint;
+
+struct CliArgs
+{
+    std::vector<std::string> paths;
+    std::string root;
+    std::string json_path;
+    std::string baseline_path;
+    std::string write_baseline_path;
+    LintOptions lint;
+    bool list_rules = false;
+    bool quiet = false;
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::cout <<
+        "usage: asdlint [options] <file-or-dir>...\n"
+        "  --root DIR            resolve paths and report them\n"
+        "                        relative to DIR (default: cwd)\n"
+        "  --baseline PATH       tolerate violations recorded in\n"
+        "                        PATH; only new ones fail\n"
+        "  --write-baseline PATH snapshot current violations and\n"
+        "                        exit 0\n"
+        "  --json PATH           write a JSON report (asdlint/v1)\n"
+        "  --rule NAME           run only rule NAME (repeatable)\n"
+        "  --list-rules          print the rule catalog and exit\n"
+        "  --quiet               suppress per-diagnostic output\n"
+        "  --help                this text\n"
+        "\n"
+        "Suppress a finding in source with a trailing or preceding\n"
+        "comment: // asdlint:allow(rule-name)  or  asdlint:allow(*)\n";
+    std::exit(code);
+}
+
+CliArgs
+parseArgs(int argc, char **argv)
+{
+    CliArgs args;
+    std::vector<std::string> tokens(argv + 1, argv + argc);
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        const std::string &tok = tokens[i];
+        auto next = [&]() -> std::string {
+            if (++i >= tokens.size())
+                fatal("missing value after " + tok);
+            return tokens[i];
+        };
+        if (tok == "--help" || tok == "-h")
+            usage(0);
+        else if (tok == "--root")
+            args.root = next();
+        else if (tok == "--baseline")
+            args.baseline_path = next();
+        else if (tok == "--write-baseline")
+            args.write_baseline_path = next();
+        else if (tok == "--json")
+            args.json_path = next();
+        else if (tok == "--rule")
+            args.lint.only_rules.push_back(next());
+        else if (tok == "--list-rules")
+            args.list_rules = true;
+        else if (tok == "--quiet" || tok == "-q")
+            args.quiet = true;
+        else if (!tok.empty() && tok[0] == '-')
+            fatal("unknown argument: " + tok + " (try --help)");
+        else
+            args.paths.push_back(tok);
+    }
+    return args;
+}
+
+void
+listRules()
+{
+    for (const Rule &rule : ruleRegistry())
+        std::printf("%-20s %-8s %s\n", rule.name.c_str(),
+                    severityName(rule.severity), rule.summary.c_str());
+}
+
+/** @p path relative to @p root with forward slashes, for reports. */
+std::string
+displayPath(const std::filesystem::path &root,
+            const std::string &path)
+{
+    std::error_code ec;
+    const auto rel = std::filesystem::proximate(path, root, ec);
+    if (ec || rel.empty())
+        return std::filesystem::path(path).generic_string();
+    return rel.generic_string();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args = parseArgs(argc, argv);
+    if (args.list_rules) {
+        listRules();
+        return 0;
+    }
+    if (args.paths.empty())
+        usage(1);
+    for (const std::string &name : args.lint.only_rules)
+        if (!findRule(name))
+            fatal("unknown rule: " + name + " (try --list-rules)");
+
+    const std::filesystem::path root =
+        args.root.empty() ? std::filesystem::current_path()
+                          : std::filesystem::path(args.root);
+
+    std::vector<Diagnostic> diagnostics;
+    std::size_t files_scanned = 0;
+    for (const std::string &path : args.paths) {
+        const std::string resolved =
+            std::filesystem::path(path).is_absolute()
+                ? path
+                : (root / path).generic_string();
+        for (const std::string &file : collectSources(resolved)) {
+            ++files_scanned;
+            const auto found =
+                lintFile(displayPath(root, file), file, args.lint);
+            diagnostics.insert(diagnostics.end(), found.begin(),
+                               found.end());
+        }
+    }
+
+    if (!args.write_baseline_path.empty()) {
+        std::ofstream out(args.write_baseline_path,
+                          std::ios::binary);
+        if (!out)
+            fatal("cannot write baseline " +
+                  args.write_baseline_path);
+        out << formatBaseline(countByFileRule(diagnostics));
+        inform("asdlint: baseline written to " +
+               args.write_baseline_path + " (" +
+               std::to_string(diagnostics.size()) + " findings)");
+        return 0;
+    }
+
+    std::vector<Diagnostic> fresh = diagnostics;
+    if (!args.baseline_path.empty())
+        fresh = aboveBaseline(diagnostics,
+                              loadBaseline(args.baseline_path));
+
+    if (!args.json_path.empty()) {
+        std::ofstream out(args.json_path, std::ios::binary);
+        if (!out)
+            fatal("cannot write JSON report " + args.json_path);
+        out << reportJson(fresh, files_scanned) << "\n";
+    }
+
+    if (!args.quiet) {
+        for (const Diagnostic &diag : fresh)
+            std::fprintf(stderr, "%s:%u: %s [%s] %s\n",
+                         diag.file.c_str(), diag.line,
+                         severityName(diag.severity),
+                         diag.rule.c_str(), diag.message.c_str());
+    }
+    std::fprintf(stderr,
+                 "asdlint: %zu file%s scanned, %zu violation%s%s\n",
+                 files_scanned, files_scanned == 1 ? "" : "s",
+                 fresh.size(), fresh.size() == 1 ? "" : "s",
+                 args.baseline_path.empty() ? ""
+                                            : " above baseline");
+    return fresh.empty() ? 0 : 1;
+}

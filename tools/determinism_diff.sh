@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Determinism audit: run asdsim_cli twice with identical options and
+# byte-compare everything it produces — stats JSON, per-epoch
+# telemetry CSV, and stdout. Any diff means a nondeterminism bug
+# (unseeded randomness, unordered-container iteration order, ...).
+#
+# Usage:
+#   tools/determinism_diff.sh <path-to-asdsim_cli> [asdsim_cli args...]
+#
+# Without extra args a short default configuration is used. Exits 0
+# when both runs are byte-identical, 1 otherwise.
+set -euo pipefail
+
+if [ $# -lt 1 ]; then
+    echo "usage: $0 <path-to-asdsim_cli> [asdsim_cli args...]" >&2
+    exit 2
+fi
+CLI=$1
+shift
+if [ ! -x "$CLI" ]; then
+    echo "determinism_diff: not an executable: $CLI" >&2
+    exit 2
+fi
+
+ARGS=("$@")
+if [ ${#ARGS[@]} -eq 0 ]; then
+    # Long enough that several telemetry epochs complete (an epoch is
+    # 2000 MC reads), so the CSV compares real per-epoch content.
+    ARGS=(--bench bwaves --mode MS --accesses 100000)
+fi
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+for i in 1 2; do
+    "$CLI" "${ARGS[@]}" --csv \
+        --json "$TMP/stats$i.json" \
+        --telemetry-csv "$TMP/telemetry$i.csv" \
+        > "$TMP/stdout$i.txt"
+done
+
+status=0
+for artifact in stats.json telemetry.csv stdout.txt; do
+    base=${artifact%.*}
+    ext=${artifact##*.}
+    if ! cmp -s "$TMP/$base"1".$ext" "$TMP/$base"2".$ext"; then
+        echo "determinism_diff: $artifact differs between runs:" >&2
+        diff "$TMP/$base"1".$ext" "$TMP/$base"2".$ext" >&2 || true
+        status=1
+    fi
+done
+
+if [ $status -eq 0 ]; then
+    echo "determinism_diff: OK (${ARGS[*]}) — stats JSON," \
+         "telemetry CSV, and stdout byte-identical across two runs"
+fi
+exit $status

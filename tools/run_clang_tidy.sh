@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# clang-tidy wrapper for the checks pinned in .clang-tidy. Degrades
+# gracefully: when clang-tidy is not installed this prints a notice
+# and exits 0 so CI recipes can call it unconditionally.
+#
+# Usage:
+#   tools/run_clang_tidy.sh [build-dir] [source files...]
+#
+# The build dir (default: build) must contain compile_commands.json;
+# it is configured with CMAKE_EXPORT_COMPILE_COMMANDS=ON on demand.
+# With no explicit sources, every .cpp under src/ is checked.
+set -euo pipefail
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BUILD_DIR=${1:-$ROOT/build}
+[ $# -gt 0 ] && shift
+
+TIDY=${CLANG_TIDY:-}
+if [ -z "$TIDY" ]; then
+    for candidate in clang-tidy clang-tidy-20 clang-tidy-19 \
+                     clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+                     clang-tidy-15 clang-tidy-14; do
+        if command -v "$candidate" > /dev/null 2>&1; then
+            TIDY=$candidate
+            break
+        fi
+    done
+fi
+if [ -z "$TIDY" ]; then
+    echo "run_clang_tidy: clang-tidy not found; skipping" \
+         "(install clang-tidy or set CLANG_TIDY=/path/to/it)" >&2
+    exit 0
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+    echo "run_clang_tidy: exporting compile commands to $BUILD_DIR"
+    cmake -B "$BUILD_DIR" -S "$ROOT" \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+fi
+
+if [ $# -gt 0 ]; then
+    FILES=("$@")
+else
+    mapfile -t FILES < <(find "$ROOT/src" -name '*.cpp' | sort)
+fi
+
+echo "run_clang_tidy: $TIDY over ${#FILES[@]} files"
+"$TIDY" -p "$BUILD_DIR" --quiet "${FILES[@]}"
