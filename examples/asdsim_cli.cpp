@@ -23,7 +23,10 @@
 #include "common/table.hpp"
 #include "sim/experiment.hpp"
 #include "sim/serialize.hpp"
+#include "sim/snapshot_io.hpp"
+#include "sim/system.hpp"
 #include "telemetry/sinks.hpp"
+#include "trace/synthetic.hpp"
 
 namespace
 {
@@ -41,6 +44,9 @@ struct CliArgs
     std::string telemetry_csv;   //!< per-epoch CSV path (empty = off)
     std::string telemetry_json;  //!< JSON time-series path
     std::string telemetry_trace; //!< Chrome trace-event path
+    std::string save_path;       //!< --save-snapshot target (empty = off)
+    Cycle save_cycle = 0;        //!< cycle at which to save
+    std::string load_path;       //!< --load-snapshot source (empty = off)
 };
 
 [[noreturn]] void
@@ -74,12 +80,23 @@ usage()
         "  --smt                  co-run two copies (SMT pair)\n"
         "  --csv                  emit one CSV row instead of a table\n"
         "  --json PATH            also write RunMetrics JSON to PATH\n"
+        "  --telemetry            record per-epoch telemetry without\n"
+        "                         an output sink (for --save-snapshot)\n"
         "  --telemetry-csv PATH   write per-epoch telemetry CSV\n"
         "  --telemetry-json PATH  write per-epoch telemetry JSON\n"
         "  --telemetry-trace PATH write chrome://tracing JSON\n"
         "  --telemetry-max-epochs N\n"
         "                         cap the recorded epochs (0 = all)\n"
-        "  --telemetry-no-slh     omit per-thread SLH snapshots\n";
+        "  --telemetry-no-slh     omit per-thread SLH snapshots\n"
+        "  --warmup N             run N cycles before arming the\n"
+        "                         memory-side prefetcher\n"
+        "  --save-snapshot PATH@CYCLE\n"
+        "                         run to CYCLE, write a checkpoint to\n"
+        "                         PATH, and exit (no report)\n"
+        "  --load-snapshot PATH   restore a checkpoint and run it to\n"
+        "                         completion; the machine config comes\n"
+        "                         from the snapshot, only output flags\n"
+        "                         (--csv/--json/--telemetry-*) apply\n";
     std::exit(0);
 }
 
@@ -211,11 +228,32 @@ parseArgs(int argc, char **argv)
         } else if (tok == "--telemetry-trace") {
             args.telemetry_trace = next();
             args.options.telemetry.enabled = true;
+        } else if (tok == "--telemetry") {
+            // Enable recording with no output sink — useful with
+            // --save-snapshot so the checkpoint carries the recorder
+            // state and a later --load-snapshot can emit the full
+            // time series.
+            args.options.telemetry.enabled = true;
         } else if (tok == "--telemetry-max-epochs") {
             args.options.telemetry.max_epochs =
                 static_cast<std::size_t>(std::atoll(next().c_str()));
         } else if (tok == "--telemetry-no-slh") {
             args.options.telemetry.capture_slh = false;
+        } else if (tok == "--warmup") {
+            args.options.warmup_cycles =
+                static_cast<Cycle>(std::atoll(next().c_str()));
+        } else if (tok == "--save-snapshot") {
+            const std::string v = next();
+            const std::size_t at = v.rfind('@');
+            if (at == std::string::npos || at == 0 ||
+                at + 1 >= v.size()) {
+                fatal("--save-snapshot expects PATH@CYCLE, got: " + v);
+            }
+            args.save_path = v.substr(0, at);
+            args.save_cycle = static_cast<Cycle>(
+                std::atoll(v.c_str() + at + 1));
+        } else if (tok == "--load-snapshot") {
+            args.load_path = next();
         } else {
             fatal("unknown argument: " + tok + " (try --help)");
         }
@@ -235,6 +273,88 @@ listBenchmarks()
     }
 }
 
+/**
+ * --save-snapshot: run to the requested cycle, write the checkpoint
+ * (a "cli" metadata section followed by the machine sections), and
+ * exit without printing a report. Informational output goes to
+ * stderr so a later --load-snapshot run's stdout byte-compares
+ * against an uninterrupted run's.
+ */
+int
+saveSnapshotRun(const CliArgs &args)
+{
+    const Benchmark &bench = findBenchmark(args.bench);
+    SyntheticConfig trace_config = bench.trace;
+    trace_config.total_accesses = scaledAccesses(bench, args.options);
+    SyntheticTraceGenerator trace(trace_config);
+    System system(makeSystemConfig(args.options), {&trace});
+    system.runUntil(args.save_cycle);
+
+    SnapshotWriter writer;
+    writer.beginSection("cli");
+    writer.str(bench.name);
+    writer.u64(trace_config.total_accesses);
+    saveRunOptions(writer, args.options);
+    writer.endSection();
+    system.saveSnapshot(writer);
+    try {
+        writeSnapshotFile(
+            args.save_path,
+            writer.finish(runConfigHash(bench.name,
+                                        trace_config.total_accesses,
+                                        args.options)));
+    } catch (const SnapshotError &e) {
+        fatal(std::string("snapshot save failed: ") + e.what());
+    }
+    std::cerr << "asdsim_cli: saved " << bench.name << " at cycle "
+              << system.nowCycle() << " to " << args.save_path
+              << "\n";
+    return 0;
+}
+
+/**
+ * --load-snapshot: rebuild the machine from the snapshot's own
+ * metadata (the command line only chooses the outputs), restore, and
+ * run to completion.
+ */
+RunMetrics
+loadSnapshotRun(const CliArgs &args, std::string &bench_name,
+                std::vector<EpochRecord> &epochs, bool &telemetry_on)
+{
+    try {
+        SnapshotReader reader(readSnapshotFile(args.load_path));
+        reader.openSection("cli");
+        bench_name = reader.str();
+        const std::uint64_t accesses = reader.u64();
+        const RunOptions options = loadRunOptions(reader);
+        reader.endSection();
+        reader.requireConfigHash(
+            runConfigHash(bench_name, accesses, options));
+        if (args.options.telemetry.enabled &&
+            !options.telemetry.enabled) {
+            fatal("telemetry output requested but the snapshot was "
+                  "taken without telemetry");
+        }
+        telemetry_on = options.telemetry.enabled;
+
+        const Benchmark &bench = findBenchmark(bench_name);
+        SyntheticConfig trace_config = bench.trace;
+        trace_config.total_accesses = accesses;
+        SyntheticTraceGenerator trace(trace_config);
+        System system(makeSystemConfig(options), {&trace});
+        system.loadSnapshot(reader);
+        std::cerr << "asdsim_cli: restored " << bench_name
+                  << " at cycle " << system.nowCycle() << " from "
+                  << args.load_path << "\n";
+        system.runUntil(kNoCycle);
+        if (system.telemetry())
+            epochs = system.telemetry()->records();
+        return system.collectMetrics();
+    } catch (const SnapshotError &e) {
+        fatal(std::string("snapshot load failed: ") + e.what());
+    }
+}
+
 } // namespace
 
 int
@@ -246,13 +366,30 @@ main(int argc, char **argv)
         return 0;
     }
 
-    const Benchmark &bench = findBenchmark(args.bench);
-    std::vector<EpochRecord> epochs;
-    const RunMetrics m =
-        args.smt ? runSmtPair(bench, bench, args.options, &epochs)
-                 : runBenchmark(bench, args.options, &epochs);
+    if ((!args.save_path.empty() || !args.load_path.empty()) &&
+        args.smt) {
+        fatal("--smt cannot be combined with snapshot save/load");
+    }
+    if (!args.save_path.empty() && !args.load_path.empty())
+        fatal("--save-snapshot and --load-snapshot are mutually "
+              "exclusive");
+    if (!args.save_path.empty())
+        return saveSnapshotRun(args);
 
-    if (args.options.telemetry.enabled) {
+    std::string bench_name = args.bench;
+    std::vector<EpochRecord> epochs;
+    bool telemetry_on = args.options.telemetry.enabled;
+    RunMetrics m;
+    if (!args.load_path.empty()) {
+        m = loadSnapshotRun(args, bench_name, epochs, telemetry_on);
+    } else {
+        const Benchmark &bench = findBenchmark(args.bench);
+        m = args.smt
+                ? runSmtPair(bench, bench, args.options, &epochs)
+                : runBenchmark(bench, args.options, &epochs);
+    }
+
+    if (telemetry_on) {
         if (epochs.empty())
             warn("telemetry enabled but no epochs were recorded");
         if (!args.telemetry_csv.empty())
@@ -271,7 +408,7 @@ main(int argc, char **argv)
     }
 
     if (args.csv) {
-        std::cout << args.bench << "," << m.cycles << ","
+        std::cout << bench_name << "," << m.cycles << ","
                   << m.accesses << "," << Table::num(m.dram_watts, 3)
                   << "," << Table::num(m.dram_energy_mj, 3) << ","
                   << Table::num(m.coverage_pct, 2) << ","
@@ -289,7 +426,7 @@ main(int argc, char **argv)
     }
 
     Table table({"metric", "value"});
-    table.addRow({"benchmark", args.bench});
+    table.addRow({"benchmark", bench_name});
     table.addRow({"cycles", std::to_string(m.cycles)});
     table.addRow({"accesses", std::to_string(m.accesses)});
     table.addRow({"dram_watts", Table::num(m.dram_watts, 3)});

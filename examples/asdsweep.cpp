@@ -13,6 +13,7 @@
  *            [--buffer-lines 8,16,32] [--filter-slots 4,8,16]
  *            [--degrees 1,2] [--accesses N] [--seed N]
  *            [--threads N] [--timeout-ms N]
+ *            [--warm-start CYCLES] [--snapshot-dir DIR] [--resume]
  *            [--out DIR] [--csv] [--quiet]
  *
  * Thread count defaults to the ASD_SWEEP_THREADS environment
@@ -55,6 +56,16 @@ struct CliConfig
     std::optional<std::uint64_t> seed;
     unsigned threads = 0;
     double timeout_ms = 0.0;
+
+    /** Warm-up cycles per job; > 0 enables warm-start sharing. */
+    std::uint64_t warm_start_cycles = 0;
+
+    /** On-disk warm-up snapshot cache; empty = in-memory only. */
+    std::string snapshot_dir;
+
+    /** Skip jobs whose result record already exists and is ok. */
+    bool resume = false;
+
     std::string out_dir = "results/sweep";
     bool csv = false;
     bool quiet = false;
@@ -88,6 +99,20 @@ usage()
            "  --threads N         worker threads (default "
            "$ASD_SWEEP_THREADS or hardware)\n"
            "  --timeout-ms N      soft per-job wall-clock limit\n"
+           "  --warm-start CYCLES warm every job up for CYCLES with "
+           "the memory\n"
+           "                      side disarmed; jobs sharing a "
+           "warm-up simulate\n"
+           "                      it once and fork the snapshot "
+           "(results stay\n"
+           "                      byte-identical to cold starts)\n"
+           "  --snapshot-dir DIR  persist warm-up snapshots to DIR "
+           "and reuse\n"
+           "                      them across sweeps (default: "
+           "in-memory only)\n"
+           "  --resume            skip jobs whose <out> record "
+           "already exists,\n"
+           "                      parses, and reports status ok\n"
            "  --out DIR           result directory "
            "(default results/sweep)\n"
            "  --csv               also write <out>/sweep.csv\n"
@@ -213,6 +238,14 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--timeout-ms") {
             cli.timeout_ms =
                 static_cast<double>(parseU64(next(i, arg), arg));
+        } else if (arg == "--warm-start") {
+            cli.warm_start_cycles = parseU64(next(i, arg), arg);
+            if (cli.warm_start_cycles == 0)
+                fatal("--warm-start needs a positive cycle count");
+        } else if (arg == "--snapshot-dir") {
+            cli.snapshot_dir = next(i, arg);
+        } else if (arg == "--resume") {
+            cli.resume = true;
         } else if (arg == "--out") {
             cli.out_dir = next(i, arg);
         } else if (arg == "--csv") {
@@ -333,6 +366,8 @@ buildJobs(const CliConfig &cli)
                                     options.filter_slots = sf;
                                     options.max_degree = d;
                                     options.accesses = cli.accesses;
+                                    options.warmup_cycles =
+                                        cli.warm_start_cycles;
                                     if (vm) {
                                         options.vm.enabled = true;
                                         options.vm.policy = *vm;
@@ -384,11 +419,30 @@ int
 main(int argc, char **argv)
 {
     const CliConfig cli = parseArgs(argc, argv);
-    const std::vector<JobSpec> jobs = buildJobs(cli);
+    std::vector<JobSpec> jobs = buildJobs(cli);
     if (jobs.empty())
         fatal("benchmark selection produced no jobs");
 
     JsonDirSink json_sink(cli.out_dir);
+    if (cli.resume) {
+        // Adopted records stay in the manifest; only the remainder
+        // runs. (The optional CSV is rebuilt from scratch and covers
+        // only the jobs that actually ran this time.)
+        std::vector<JobSpec> pending;
+        pending.reserve(jobs.size());
+        for (JobSpec &job : jobs) {
+            if (!json_sink.adoptExisting(job))
+                pending.push_back(std::move(job));
+        }
+        jobs = std::move(pending);
+        if (!cli.quiet && json_sink.skipped() > 0) {
+            std::fprintf(stderr,
+                         "resume: skipping %zu already-finished "
+                         "job(s), %zu left to run\n",
+                         json_sink.skipped(), jobs.size());
+        }
+    }
+
     std::vector<ResultSink *> sinks = {&json_sink};
     std::optional<CsvSink> csv_sink;
     if (cli.csv) {
@@ -400,8 +454,10 @@ main(int argc, char **argv)
     SweepOptions sweep;
     sweep.threads = cli.threads;
     sweep.default_timeout_ms = cli.timeout_ms;
+    sweep.warm_start = cli.warm_start_cycles > 0;
+    sweep.snapshot_dir = cli.snapshot_dir;
     sweep.sink = &tee;
-    if (!cli.quiet)
+    if (!cli.quiet && !jobs.empty())
         sweep.on_progress = printProgress;
 
     SweepRunner runner(sweep);
@@ -411,8 +467,14 @@ main(int argc, char **argv)
     if (!cli.quiet) {
         std::cout << summary.jobs << " jobs: " << summary.ok
                   << " ok, " << summary.failed << " failed, "
-                  << summary.timed_out << " timed out in "
-                  << summary.wall_ms / 1000.0 << " s on "
+                  << summary.timed_out << " timed out";
+        if (summary.warm_started > 0)
+            std::cout << ", " << summary.warm_started
+                      << " warm-started";
+        if (json_sink.skipped() > 0)
+            std::cout << " (+" << json_sink.skipped()
+                      << " skipped on resume)";
+        std::cout << " in " << summary.wall_ms / 1000.0 << " s on "
                   << summary.threads << " threads -> " << cli.out_dir
                   << "\n";
     }

@@ -14,6 +14,7 @@
 
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace asd
 {
@@ -46,7 +47,7 @@ struct Eviction
  * line address (byte address >> log2(line size)); set index and tag
  * derive from it.
  */
-class SetAssocCache
+class SetAssocCache : public Snapshottable
 {
   public:
     explicit SetAssocCache(const CacheConfig &config);
@@ -90,6 +91,9 @@ class SetAssocCache
 
     /** Valid lines right now (O(capacity) scan; checks/telemetry). */
     std::uint64_t validLines() const;
+
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
 
     const CacheConfig &config() const { return config_; }
 

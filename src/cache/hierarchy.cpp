@@ -149,4 +149,24 @@ CacheHierarchy::registerStats(StatRegistry &registry,
     registry.add(prefix + ".writebacks", writebacks_generated_);
 }
 
+void
+CacheHierarchy::saveState(SnapshotWriter &w) const
+{
+    l1_.saveState(w);
+    l2_.saveState(w);
+    l3_.saveState(w);
+    w.vecU64(writebacks_);
+    w.u64(writebacks_generated_.value());
+}
+
+void
+CacheHierarchy::loadState(SnapshotReader &r)
+{
+    l1_.loadState(r);
+    l2_.loadState(r);
+    l3_.loadState(r);
+    writebacks_ = r.vecU64();
+    writebacks_generated_.restore(r.u64());
+}
+
 } // namespace asd

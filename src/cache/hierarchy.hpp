@@ -54,7 +54,7 @@ struct AccessResult
  * evictions never back-invalidate). The owner drains generated
  * writebacks into the memory controller every cycle.
  */
-class CacheHierarchy
+class CacheHierarchy : public Snapshottable
 {
   public:
     explicit CacheHierarchy(const HierarchyConfig &config);
@@ -87,6 +87,9 @@ class CacheHierarchy
     /** Register all per-level counters. */
     void registerStats(StatRegistry &registry,
                        const std::string &prefix) const;
+
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
 
     const SetAssocCache &l1() const { return l1_; }
     const SetAssocCache &l2() const { return l2_; }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace asd
 {
@@ -21,7 +22,7 @@ namespace asd
  * each holds a waiter count so merged misses can all be released by
  * one fill.
  */
-class MshrFile
+class MshrFile : public Snapshottable
 {
   public:
     explicit MshrFile(std::size_t capacity) : capacity_(capacity) {}
@@ -72,6 +73,31 @@ class MshrFile
 
     std::size_t inUse() const { return entries_.size(); }
     std::size_t capacity() const { return capacity_; }
+
+    void
+    saveState(SnapshotWriter &w) const override
+    {
+        w.u32(static_cast<std::uint32_t>(entries_.size()));
+        for (const Entry &entry : entries_) {
+            w.u64(entry.line);
+            w.u32(entry.waiters);
+        }
+    }
+
+    void
+    loadState(SnapshotReader &r) override
+    {
+        const std::uint32_t count = r.u32();
+        SnapshotReader::check(count <= capacity_,
+                              "MSHR entry count exceeds capacity");
+        entries_.clear();
+        for (std::uint32_t i = 0; i < count; ++i) {
+            Entry entry;
+            entry.line = r.u64();
+            entry.waiters = r.u32();
+            entries_.push_back(entry);
+        }
+    }
 
   private:
     struct Entry

@@ -50,6 +50,17 @@ Histogram::clear()
     total_ = 0;
 }
 
+void
+Histogram::restore(const std::vector<std::uint64_t> &counts)
+{
+    panicIfNot(counts.size() == counts_.size(),
+               "Histogram::restore requires equal bucket counts");
+    counts_ = counts;
+    total_ = 0;
+    for (const std::uint64_t c : counts_)
+        total_ += c;
+}
+
 double
 Histogram::l1Distance(const Histogram &other) const
 {

@@ -42,6 +42,19 @@ class Histogram
     /** Reset every bucket to zero. */
     void clear();
 
+    /** Raw per-bucket counts, for checkpointing. */
+    const std::vector<std::uint64_t> &counts() const
+    {
+        return counts_;
+    }
+
+    /**
+     * Restore counts captured by counts(); the size must match the
+     * constructed bucket count (panics otherwise). Recomputes the
+     * running total.
+     */
+    void restore(const std::vector<std::uint64_t> &counts);
+
     /**
      * Sum of absolute per-bucket fraction differences against another
      * histogram of the same size (total variation distance x 2).

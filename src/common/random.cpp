@@ -84,6 +84,19 @@ Rng::chance(double p)
     return nextDouble() < p;
 }
 
+std::array<std::uint64_t, 4>
+Rng::state() const
+{
+    return {state_[0], state_[1], state_[2], state_[3]};
+}
+
+void
+Rng::setState(const std::array<std::uint64_t, 4> &state)
+{
+    for (std::size_t i = 0; i < state.size(); ++i)
+        state_[i] = state[i];
+}
+
 DiscreteSampler::DiscreteSampler(const std::vector<double> &weights)
 {
     if (weights.empty())

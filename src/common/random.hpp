@@ -9,6 +9,7 @@
  * distributions in <random> are not portable bit-for-bit).
  */
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -40,6 +41,12 @@ class Rng
 
     /** Bernoulli trial with success probability @p p. */
     bool chance(double p);
+
+    /** Raw engine state, for checkpointing. */
+    std::array<std::uint64_t, 4> state() const;
+
+    /** Restore a state captured by state(). */
+    void setState(const std::array<std::uint64_t, 4> &state);
 
   private:
     std::uint64_t state_[4];

@@ -26,6 +26,12 @@ class Counter
     std::uint64_t value() const { return value_; }
     void reset() { value_ = 0; }
 
+    /**
+     * Overwrite the count (checkpoint restore only — normal updates
+     * go through inc() so counters stay monotone within a run).
+     */
+    void restore(std::uint64_t value) { value_ = value; }
+
   private:
     std::uint64_t value_ = 0;
 };

@@ -40,6 +40,29 @@ AdaptiveScheduler::epochEnd()
 }
 
 void
+AdaptiveScheduler::saveState(SnapshotWriter &w) const
+{
+    w.u32(static_cast<std::uint32_t>(policy_));
+    w.u32(epoch_conflicts_);
+    w.u64(total_conflicts_.value());
+    w.u64(policy_up_.value());
+    w.u64(policy_down_.value());
+}
+
+void
+AdaptiveScheduler::loadState(SnapshotReader &r)
+{
+    const std::uint32_t policy = r.u32();
+    SnapshotReader::check(policy >= 1 && policy <= 5,
+                          "LPQ policy out of range");
+    policy_ = static_cast<int>(policy);
+    epoch_conflicts_ = r.u32();
+    total_conflicts_.restore(r.u64());
+    policy_up_.restore(r.u64());
+    policy_down_.restore(r.u64());
+}
+
+void
 AdaptiveScheduler::registerStats(StatRegistry &registry,
                                  const std::string &prefix) const
 {

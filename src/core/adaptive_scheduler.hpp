@@ -16,12 +16,13 @@
 
 #include "common/stats.hpp"
 #include "core/asd_config.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace asd
 {
 
 /** The adaptive (or pinned) LPQ policy selector. */
-class AdaptiveScheduler
+class AdaptiveScheduler : public Snapshottable
 {
   public:
     explicit AdaptiveScheduler(const AdaptiveSchedConfig &config);
@@ -50,6 +51,9 @@ class AdaptiveScheduler
 
     void registerStats(StatRegistry &registry,
                        const std::string &prefix) const;
+
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
 
   private:
     AdaptiveSchedConfig config_;

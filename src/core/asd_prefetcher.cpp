@@ -238,6 +238,72 @@ AsdPrefetcher::lhtCurr(std::uint32_t thread, StreamDir dir) const
 }
 
 void
+AsdPrefetcher::saveState(SnapshotWriter &w) const
+{
+    w.u64(threads_.size());
+    for (const auto &thread : threads_) {
+        thread->filter.saveState(w);
+        thread->positive.saveState(w);
+        thread->negative.saveState(w);
+    }
+    buffer_.saveState(w);
+    sched_.saveState(w);
+    w.u32(reads_this_epoch_);
+    w.u64(epochs_done_);
+    w.vecU64(stream_hist_.counts());
+    w.u64(slh_history_cap_);
+    w.u64(slh_history_.size());
+    for (const SlhSnapshot &snap : slh_history_) {
+        w.u64(snap.epoch);
+        w.vecU64(snap.positive);
+        w.vecU64(snap.negative);
+    }
+    w.u64(prefetches_suggested_.value());
+    w.u64(decisions_negative_.value());
+    w.u64(overflow_reads_.value());
+    w.u64(stream_merges_.value());
+    w.u64(lht_underflow_.value());
+}
+
+void
+AsdPrefetcher::loadState(SnapshotReader &r)
+{
+    SnapshotReader::check(r.u64() == threads_.size(),
+                          "ASD thread count mismatch");
+    for (auto &thread : threads_) {
+        thread->filter.loadState(r);
+        thread->positive.loadState(r);
+        thread->negative.loadState(r);
+    }
+    buffer_.loadState(r);
+    sched_.loadState(r);
+    reads_this_epoch_ = r.u32();
+    epochs_done_ = r.u64();
+    const std::vector<std::uint64_t> hist = r.vecU64();
+    SnapshotReader::check(hist.size() == stream_hist_.buckets(),
+                          "stream histogram size mismatch");
+    stream_hist_.restore(hist);
+    slh_history_cap_ = static_cast<std::size_t>(r.u64());
+    const std::uint64_t snaps = r.u64();
+    SnapshotReader::check(snaps <= slh_history_cap_,
+                          "SLH history longer than its cap");
+    slh_history_.clear();
+    slh_history_.reserve(slh_history_cap_);
+    for (std::uint64_t i = 0; i < snaps; ++i) {
+        SlhSnapshot snap;
+        snap.epoch = r.u64();
+        snap.positive = r.vecU64();
+        snap.negative = r.vecU64();
+        slh_history_.push_back(std::move(snap));
+    }
+    prefetches_suggested_.restore(r.u64());
+    decisions_negative_.restore(r.u64());
+    overflow_reads_.restore(r.u64());
+    stream_merges_.restore(r.u64());
+    lht_underflow_.restore(r.u64());
+}
+
+void
 AsdPrefetcher::registerStats(StatRegistry &registry,
                              const std::string &prefix) const
 {

@@ -56,6 +56,8 @@ class AsdPrefetcher : public MemSidePrefetcher
     int schedulingPolicy() const override;
     void notifyPrefetchConflict(Cycle now) override;
     void tick(Cycle now) override;
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
 
     // Introspection for figures, benches and tests -------------------
 

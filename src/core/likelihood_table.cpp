@@ -83,4 +83,21 @@ LikelihoodTable::clear()
     std::fill(counts_.begin(), counts_.end(), 0);
 }
 
+void
+LikelihoodTable::saveState(SnapshotWriter &w) const
+{
+    w.vecU64(counts_);
+    w.u64(underflow_clamps_);
+}
+
+void
+LikelihoodTable::loadState(SnapshotReader &r)
+{
+    const std::vector<std::uint64_t> counts = r.vecU64();
+    SnapshotReader::check(counts.size() == counts_.size(),
+                          "likelihood table size mismatch");
+    counts_ = counts;
+    underflow_clamps_ = r.u64();
+}
+
 } // namespace asd

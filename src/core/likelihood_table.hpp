@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/slh_math.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace asd
 {
@@ -21,7 +22,7 @@ namespace asd
  * One likelihood table: entry i-1 approximates the number of streams
  * of length >= i observed in an epoch.
  */
-class LikelihoodTable
+class LikelihoodTable : public Snapshottable
 {
   public:
     explicit LikelihoodTable(std::size_t entries);
@@ -77,13 +78,16 @@ class LikelihoodTable
         return shouldPrefetchDegree(counts_, k, d);
     }
 
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
+
   private:
     std::vector<std::uint64_t> counts_;
     std::uint64_t underflow_clamps_ = 0;
 };
 
 /** The (current, next) pair with the paper's epoch-boundary protocol. */
-class LikelihoodTablePair
+class LikelihoodTablePair : public Snapshottable
 {
   public:
     explicit LikelihoodTablePair(std::size_t entries)
@@ -123,6 +127,20 @@ class LikelihoodTablePair
     underflowClamps() const
     {
         return curr_.underflowClamps() + next_.underflowClamps();
+    }
+
+    void
+    saveState(SnapshotWriter &w) const override
+    {
+        curr_.saveState(w);
+        next_.saveState(w);
+    }
+
+    void
+    loadState(SnapshotReader &r) override
+    {
+        curr_.loadState(r);
+        next_.loadState(r);
     }
 
   private:

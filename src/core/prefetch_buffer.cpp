@@ -86,4 +86,24 @@ PrefetchBuffer::capacityLines() const
                                  cache_.config().line_bytes);
 }
 
+void
+PrefetchBuffer::saveState(SnapshotWriter &w) const
+{
+    cache_.saveState(w);
+    w.u64(inserted_.value());
+    w.u64(consumed_.value());
+    w.u64(evicted_unused_.value());
+    w.u64(write_invalidations_.value());
+}
+
+void
+PrefetchBuffer::loadState(SnapshotReader &r)
+{
+    cache_.loadState(r);
+    inserted_.restore(r.u64());
+    consumed_.restore(r.u64());
+    evicted_unused_.restore(r.u64());
+    write_invalidations_.restore(r.u64());
+}
+
 } // namespace asd

@@ -20,7 +20,7 @@ namespace asd
 {
 
 /** The memory-side prefetch buffer. */
-class PrefetchBuffer
+class PrefetchBuffer : public Snapshottable
 {
   public:
     /**
@@ -64,6 +64,9 @@ class PrefetchBuffer
 
     /** Lines currently buffered (telemetry/invariants). */
     std::uint64_t occupancy() const;
+
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
 
   private:
     SetAssocCache cache_;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace asd
 {
@@ -59,7 +60,7 @@ struct StreamObservation
 };
 
 /** The Stream Filter. */
-class StreamFilter
+class StreamFilter : public Snapshottable
 {
   public:
     /**
@@ -98,6 +99,9 @@ class StreamFilter
     std::size_t liveStreams() const;
 
     std::uint32_t slots() const { return slots_; }
+
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
 
   private:
     struct Slot

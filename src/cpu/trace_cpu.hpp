@@ -67,7 +67,7 @@ struct CpuConfig
 };
 
 /** One hardware thread replaying a trace. */
-class TraceCpu
+class TraceCpu : public Snapshottable
 {
   public:
     /**
@@ -104,6 +104,14 @@ class TraceCpu
                        const std::string &prefix) const;
 
     std::uint64_t retiredAccesses() const { return retired_.value(); }
+
+    /**
+     * Checkpoint the core and its trace cursor. The attached PS
+     * prefetcher and MMU are snapshotted by the System in their own
+     * sections (their presence depends on the machine configuration).
+     */
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
 
   private:
     /** The access currently being issued, with cached lookup state. */

@@ -14,6 +14,7 @@
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "dram/dram_config.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace asd
 {
@@ -39,7 +40,7 @@ struct DramCoord
  * head of the CAQ (or an LPQ prefetch) is sent to memory; the model
  * returns the cycle at which the data transfer completes.
  */
-class Dram
+class Dram : public Snapshottable
 {
   public:
     explicit Dram(const DramConfig &config);
@@ -90,6 +91,9 @@ class Dram
     std::uint64_t rowMisses() const { return row_misses_.value(); }
 
     const DramConfig &config() const { return config_; }
+
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
 
   private:
     struct Bank

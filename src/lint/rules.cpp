@@ -396,9 +396,9 @@ checkNarrowingCast(const SourceFile &file,
  * src/CMakeLists.txt. A file may include its own layer or lower.
  */
 constexpr std::string_view kLayerOrder[] = {
-    "common", "lint",  "trace",    "vm",       "dram",
-    "cache",  "mc",    "core",     "prefetch", "telemetry",
-    "cpu",    "workloads", "sim",  "runner",
+    "common", "lint",  "snapshot", "trace",    "vm",
+    "dram",   "cache", "mc",       "core",     "prefetch",
+    "telemetry", "cpu", "workloads", "sim",    "runner",
 };
 
 int

@@ -85,6 +85,7 @@ void
 MemoryController::pushPrefetches(const std::vector<LineAddr> &lines,
                                  Cycle now)
 {
+    MemSidePrefetcher *const prefetcher = activePrefetcher();
     for (const LineAddr line : lines) {
         if (lpq_.size() >= config_.lpq) {
             lpq_dropped_.inc();
@@ -93,7 +94,7 @@ MemoryController::pushPrefetches(const std::vector<LineAddr> &lines,
         // Skip prefetches whose data is already buffered or being
         // fetched; they would only waste DRAM bandwidth.
         if (inLpq(line) || prefetchInFlight(line) ||
-            (prefetcher_ && prefetcher_->bufferContains(line))) {
+            (prefetcher && prefetcher->bufferContains(line))) {
             continue;
         }
         McCommand cmd;
@@ -114,8 +115,8 @@ MemoryController::enqueueRead(LineAddr line, std::uint64_t id,
     // the DRAM access and needs no queue slot. The probe consumes the
     // entry only on a hit, so a rejected (queue-full) read has no
     // side effects and can be retried.
-    const bool buffer_hit =
-        prefetcher_ && prefetcher_->lookupBuffer(line);
+    MemSidePrefetcher *const prefetcher = activePrefetcher();
+    const bool buffer_hit = prefetcher && prefetcher->lookupBuffer(line);
 
     // A demand read matching an in-flight prefetch rides that
     // prefetch's completion instead of re-fetching the line (MSHR-
@@ -125,7 +126,7 @@ MemoryController::enqueueRead(LineAddr line, std::uint64_t id,
     merged_cmd.id = id;
     merged_cmd.thread = thread;
     merged_cmd.enqueued_at = now;
-    const bool merged = !buffer_hit && prefetcher_ &&
+    const bool merged = !buffer_hit && prefetcher &&
                         config_.merge_inflight_prefetch &&
                         mergeWithPrefetch(merged_cmd);
 
@@ -137,8 +138,8 @@ MemoryController::enqueueRead(LineAddr line, std::uint64_t id,
     // (Fig. 4: reads fan out to both paths).
     reads_observed_.inc();
     std::vector<LineAddr> candidates;
-    if (prefetcher_)
-        candidates = prefetcher_->observeRead(line, thread, now);
+    if (prefetcher)
+        candidates = prefetcher->observeRead(line, thread, now);
 
     if (buffer_hit) {
         buffer_hits_entry_.inc();
@@ -159,7 +160,7 @@ MemoryController::enqueueRead(LineAddr line, std::uint64_t id,
 
     // A prefetch still waiting in the LPQ is superseded by the read
     // itself (demand or processor-side prefetch).
-    if (prefetcher_ && config_.cancel_lpq_on_demand)
+    if (prefetcher && config_.cancel_lpq_on_demand)
         cancelLpqEntry(line);
 
     McCommand cmd;
@@ -180,8 +181,8 @@ MemoryController::enqueueWrite(LineAddr line, Cycle now)
     if (!canAcceptWrite())
         return false;
     writes_observed_.inc();
-    if (prefetcher_)
-        prefetcher_->observeWrite(line, now);
+    if (MemSidePrefetcher *const prefetcher = activePrefetcher())
+        prefetcher->observeWrite(line, now);
     McCommand cmd;
     cmd.line = line;
     cmd.is_write = true;
@@ -251,8 +252,9 @@ MemoryController::moveToCaq(Cycle now)
 void
 MemoryController::issueToDram(Cycle now)
 {
-    const int policy = prefetcher_ ? prefetcher_->schedulingPolicy() : 0;
-    if (prefetcher_ && policyAllowsLpq(policy, now) &&
+    MemSidePrefetcher *const prefetcher = activePrefetcher();
+    const int policy = prefetcher ? prefetcher->schedulingPolicy() : 0;
+    if (prefetcher && policyAllowsLpq(policy, now) &&
         dram_.canIssue(lpq_.front().line, now)) {
         McCommand cmd = lpq_.front();
         lpq_.pop_front();
@@ -272,8 +274,8 @@ MemoryController::issueToDram(Cycle now)
 
     // Second Prefetch Buffer check: the data may have arrived while
     // the read sat in the CAQ.
-    if (!head.is_write && prefetcher_ &&
-        prefetcher_->lookupBuffer(head.line)) {
+    if (!head.is_write && prefetcher &&
+        prefetcher->lookupBuffer(head.line)) {
         buffer_hits_caq_.inc();
         InFlight flight;
         flight.done = now + config_.return_overhead;
@@ -292,8 +294,8 @@ MemoryController::issueToDram(Cycle now)
             if (!head.delayed_by_prefetch) {
                 head.delayed_by_prefetch = true;
                 regulars_delayed_.inc();
-                if (prefetcher_)
-                    prefetcher_->notifyPrefetchConflict(now);
+                if (prefetcher)
+                    prefetcher->notifyPrefetchConflict(now);
             }
         }
         return;
@@ -327,8 +329,9 @@ MemoryController::completeFinished(Cycle now)
                          static_cast<std::ptrdiff_t>(i));
         if (flight.cmd.is_prefetch) {
             if (flight.waiters.empty()) {
-                if (prefetcher_)
-                    prefetcher_->fillBuffer(flight.cmd.line, now);
+                if (MemSidePrefetcher *const prefetcher =
+                        activePrefetcher())
+                    prefetcher->fillBuffer(flight.cmd.line, now);
             } else {
                 // Data forwarded straight to the merged demand
                 // read(s); it moves into L1/L2 so the buffer copy
@@ -351,8 +354,8 @@ MemoryController::completeFinished(Cycle now)
 void
 MemoryController::tick(Cycle now)
 {
-    if (prefetcher_)
-        prefetcher_->tick(now);
+    if (MemSidePrefetcher *const prefetcher = activePrefetcher())
+        prefetcher->tick(now);
     completeFinished(now);
     moveToCaq(now);
     issueToDram(now);
@@ -414,6 +417,139 @@ MemoryController::idle() const
 {
     return read_q_.empty() && write_q_.empty() && caq_.empty() &&
            in_flight_.empty();
+}
+
+namespace
+{
+
+void
+saveCommand(SnapshotWriter &w, const McCommand &cmd)
+{
+    w.u64(cmd.line);
+    w.u64(cmd.id);
+    w.u32(cmd.thread);
+    w.u64(cmd.enqueued_at);
+    w.b(cmd.is_write);
+    w.b(cmd.is_prefetch);
+    w.b(cmd.delayed_by_prefetch);
+}
+
+McCommand
+loadCommand(SnapshotReader &r)
+{
+    McCommand cmd;
+    cmd.line = r.u64();
+    cmd.id = r.u64();
+    cmd.thread = r.u32();
+    cmd.enqueued_at = r.u64();
+    cmd.is_write = r.b();
+    cmd.is_prefetch = r.b();
+    cmd.delayed_by_prefetch = r.b();
+    return cmd;
+}
+
+void
+saveQueue(SnapshotWriter &w, const std::deque<McCommand> &queue)
+{
+    w.u64(queue.size());
+    for (const McCommand &cmd : queue)
+        saveCommand(w, cmd);
+}
+
+void
+loadQueue(SnapshotReader &r, std::deque<McCommand> &queue,
+          std::size_t capacity, const char *what)
+{
+    const std::uint64_t count = r.u64();
+    SnapshotReader::check(count <= capacity, what);
+    queue.clear();
+    for (std::uint64_t i = 0; i < count; ++i)
+        queue.push_back(loadCommand(r));
+}
+
+} // namespace
+
+void
+MemoryController::saveState(SnapshotWriter &w) const
+{
+    saveQueue(w, read_q_);
+    saveQueue(w, write_q_);
+    saveQueue(w, caq_);
+    saveQueue(w, lpq_);
+    w.b(draining_writes_);
+    w.u64(in_flight_.size());
+    for (const InFlight &flight : in_flight_) {
+        w.u64(flight.done);
+        saveCommand(w, flight.cmd);
+        w.b(flight.touches_dram);
+        w.u64(flight.waiters.size());
+        for (const McCommand &waiter : flight.waiters)
+            saveCommand(w, waiter);
+    }
+    w.u64(next_prefetch_id_);
+    w.u64(read_q_hwm_);
+    w.u64(write_q_hwm_);
+    w.u64(caq_hwm_);
+    w.u64(lpq_hwm_);
+    w.u64(demand_accepted_);
+    w.u64(demand_completed_);
+    w.u64(writes_issued_);
+    w.u64(reads_observed_.value());
+    w.u64(writes_observed_.value());
+    w.u64(buffer_hits_entry_.value());
+    w.u64(buffer_hits_caq_.value());
+    w.u64(prefetches_issued_.value());
+    w.u64(lpq_dropped_.value());
+    w.u64(regulars_delayed_.value());
+    w.u64(prefetch_conflict_events_.value());
+    w.u64(merged_with_prefetch_.value());
+    w.u64(prefetches_merged_useful_.value());
+    w.u64(lpq_promoted_.value());
+    scheduler_->saveState(w);
+}
+
+void
+MemoryController::loadState(SnapshotReader &r)
+{
+    loadQueue(r, read_q_, config_.read_queue,
+              "read reorder queue above capacity in snapshot");
+    loadQueue(r, write_q_, config_.write_queue,
+              "write reorder queue above capacity in snapshot");
+    loadQueue(r, caq_, config_.caq, "CAQ above capacity in snapshot");
+    loadQueue(r, lpq_, config_.lpq, "LPQ above capacity in snapshot");
+    draining_writes_ = r.b();
+    const std::uint64_t flights = r.u64();
+    in_flight_.clear();
+    for (std::uint64_t i = 0; i < flights; ++i) {
+        InFlight flight;
+        flight.done = r.u64();
+        flight.cmd = loadCommand(r);
+        flight.touches_dram = r.b();
+        const std::uint64_t waiters = r.u64();
+        for (std::uint64_t j = 0; j < waiters; ++j)
+            flight.waiters.push_back(loadCommand(r));
+        in_flight_.push_back(std::move(flight));
+    }
+    next_prefetch_id_ = r.u64();
+    read_q_hwm_ = static_cast<std::size_t>(r.u64());
+    write_q_hwm_ = static_cast<std::size_t>(r.u64());
+    caq_hwm_ = static_cast<std::size_t>(r.u64());
+    lpq_hwm_ = static_cast<std::size_t>(r.u64());
+    demand_accepted_ = r.u64();
+    demand_completed_ = r.u64();
+    writes_issued_ = r.u64();
+    reads_observed_.restore(r.u64());
+    writes_observed_.restore(r.u64());
+    buffer_hits_entry_.restore(r.u64());
+    buffer_hits_caq_.restore(r.u64());
+    prefetches_issued_.restore(r.u64());
+    lpq_dropped_.restore(r.u64());
+    regulars_delayed_.restore(r.u64());
+    prefetch_conflict_events_.restore(r.u64());
+    merged_with_prefetch_.restore(r.u64());
+    prefetches_merged_useful_.restore(r.u64());
+    lpq_promoted_.restore(r.u64());
+    scheduler_->loadState(r);
 }
 
 void

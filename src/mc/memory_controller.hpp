@@ -22,6 +22,7 @@
 #include "mc/command.hpp"
 #include "mc/prefetcher_iface.hpp"
 #include "mc/scheduler.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace asd
 {
@@ -79,7 +80,7 @@ struct McConfig
  * The memory controller. Owners push reads/writes; read completions
  * are delivered through a callback with the id passed at enqueue.
  */
-class MemoryController
+class MemoryController : public Snapshottable
 {
   public:
     /** Called when a read's data is available: (id, completion cycle). */
@@ -91,6 +92,18 @@ class MemoryController
 
     /** Attach the memory-side prefetcher (may be null for NP/PS). */
     void attachPrefetcher(MemSidePrefetcher *prefetcher);
+
+    /**
+     * Arm or disarm the attached prefetcher. While disarmed the
+     * controller behaves exactly as if no prefetcher were attached:
+     * reads are not observed, the buffer is never probed, and the LPQ
+     * stays empty. Warm-up phases run disarmed so the pre-boundary
+     * machine state is independent of every prefetcher knob, which is
+     * what makes warm-start snapshot reuse across ASD configurations
+     * sound.
+     */
+    void setPrefetcherArmed(bool armed) { prefetcher_armed_ = armed; }
+    bool prefetcherArmed() const { return prefetcher_armed_; }
 
     /** True when the read reorder queue can accept a command. */
     bool canAcceptRead() const;
@@ -175,6 +188,14 @@ class MemoryController
     std::size_t lpqHighWater() const { return lpq_hwm_; }
     void resetQueueHighWater();
 
+    /**
+     * Checkpoint the queues, in-flight commands, scheduler history and
+     * counters. The attached prefetcher snapshots itself separately
+     * (it is owned by the System, not the controller).
+     */
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
+
   private:
     struct InFlight
     {
@@ -222,11 +243,19 @@ class MemoryController
      */
     void checkInvariants() const;
 
+    /** The attached prefetcher, or nullptr while disarmed. */
+    MemSidePrefetcher *
+    activePrefetcher() const
+    {
+        return prefetcher_armed_ ? prefetcher_ : nullptr;
+    }
+
     McConfig config_;
     Dram &dram_;
     ReadCallback on_read_done_;
     std::unique_ptr<ReorderScheduler> scheduler_;
     MemSidePrefetcher *prefetcher_ = nullptr;
+    bool prefetcher_armed_ = true;
 
     std::deque<McCommand> read_q_;
     std::deque<McCommand> write_q_;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace asd
 {
@@ -21,9 +22,10 @@ namespace asd
 /**
  * Observer + policy provider for memory-side prefetching. All hooks
  * are called by the MemoryController; implementations must not call
- * back into it.
+ * back into it. Every implementation is checkpointable: a prefetcher
+ * restored from a snapshot must continue bit-identically.
  */
-class MemSidePrefetcher
+class MemSidePrefetcher : public Snapshottable
 {
   public:
     virtual ~MemSidePrefetcher() = default;

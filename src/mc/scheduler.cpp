@@ -134,6 +134,31 @@ AhbScheduler::notifyIssued(const McCommand &cmd, const Dram &dram)
         history_.pop_front();
 }
 
+void
+AhbScheduler::saveState(SnapshotWriter &w) const
+{
+    w.u32(static_cast<std::uint32_t>(history_.size()));
+    for (const HistoryEntry &entry : history_) {
+        w.u32(entry.bank);
+        w.b(entry.is_write);
+    }
+}
+
+void
+AhbScheduler::loadState(SnapshotReader &r)
+{
+    const std::uint32_t count = r.u32();
+    SnapshotReader::check(count <= kHistoryDepth,
+                          "AHB history longer than its depth");
+    history_.clear();
+    for (std::uint32_t i = 0; i < count; ++i) {
+        HistoryEntry entry;
+        entry.bank = r.u32();
+        entry.is_write = r.b();
+        history_.push_back(entry);
+    }
+}
+
 std::optional<SchedulerPick>
 FrFcfsScheduler::pick(const std::deque<McCommand> &reads,
                       const std::deque<McCommand> &writes,

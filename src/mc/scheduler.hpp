@@ -18,6 +18,7 @@
 
 #include "dram/dram.hpp"
 #include "mc/command.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace asd
 {
@@ -76,6 +77,23 @@ class ReorderScheduler
         (void)cmd;
         (void)dram;
     }
+
+    /**
+     * Checkpoint hooks. Most schedulers are stateless, so the default
+     * writes and reads nothing; AHB overrides to carry its issue
+     * history across a save/restore.
+     */
+    virtual void
+    saveState(SnapshotWriter &w) const
+    {
+        (void)w;
+    }
+
+    virtual void
+    loadState(SnapshotReader &r)
+    {
+        (void)r;
+    }
 };
 
 /** Strict arrival order across both queues. */
@@ -122,6 +140,9 @@ class AhbScheduler : public ReorderScheduler
          Cycle now, bool drain_writes) override;
 
     void notifyIssued(const McCommand &cmd, const Dram &dram) override;
+
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
 
   private:
     struct HistoryEntry

@@ -102,4 +102,32 @@ AsdPsPrefetcher::registerStats(StatRegistry &registry,
     registry.add(prefix + ".overflow", overflow_);
 }
 
+void
+AsdPsPrefetcher::saveState(SnapshotWriter &w) const
+{
+    filter_.saveState(w);
+    positive_.saveState(w);
+    negative_.saveState(w);
+    w.u64(accesses_);
+    w.u32(epoch_accesses_seen_);
+    w.u64(epochs_);
+    w.u64(requests_.value());
+    w.u64(suppressed_.value());
+    w.u64(overflow_.value());
+}
+
+void
+AsdPsPrefetcher::loadState(SnapshotReader &r)
+{
+    filter_.loadState(r);
+    positive_.loadState(r);
+    negative_.loadState(r);
+    accesses_ = r.u64();
+    epoch_accesses_seen_ = r.u32();
+    epochs_ = r.u64();
+    requests_.restore(r.u64());
+    suppressed_.restore(r.u64());
+    overflow_.restore(r.u64());
+}
+
 } // namespace asd

@@ -62,6 +62,9 @@ class AsdPsPrefetcher : public CpuPrefetcher
     /** Live LHTcurr for one direction (tests). */
     const LikelihoodTable &lhtCurr(StreamDir dir) const;
 
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
+
   private:
     void streamDied(const DeadStream &dead);
     LikelihoodTablePair &tables(StreamDir dir);

@@ -15,6 +15,7 @@
 
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace asd
 {
@@ -26,8 +27,11 @@ struct PsPrefetchReq
     bool to_l1 = false; //!< otherwise the line targets L2
 };
 
-/** Processor-side prefetcher interface. */
-class CpuPrefetcher
+/**
+ * Processor-side prefetcher interface. Implementations are
+ * checkpointable so a restored core resumes bit-identically.
+ */
+class CpuPrefetcher : public Snapshottable
 {
   public:
     virtual ~CpuPrefetcher() = default;

@@ -84,4 +84,41 @@ GhbMcPrefetcher::observeRead(LineAddr line, std::uint32_t thread,
     return out;
 }
 
+void
+GhbMcPrefetcher::saveState(SnapshotWriter &w) const
+{
+    BufferedMcPrefetcher::saveState(w);
+    w.u64(ghb_.size());
+    for (const GhbEntry &entry : ghb_) {
+        w.u64(entry.line);
+        w.u64(entry.prev);
+        w.b(entry.valid);
+    }
+    w.vecU64(index_);
+    w.vecU64(index_tag_);
+    w.u64(next_seq_);
+}
+
+void
+GhbMcPrefetcher::loadState(SnapshotReader &r)
+{
+    BufferedMcPrefetcher::loadState(r);
+    SnapshotReader::check(r.u64() == ghb_.size(),
+                          "GHB depth mismatch");
+    for (GhbEntry &entry : ghb_) {
+        entry.line = r.u64();
+        entry.prev = r.u64();
+        entry.valid = r.b();
+    }
+    const std::vector<std::uint64_t> index = r.vecU64();
+    SnapshotReader::check(index.size() == index_.size(),
+                          "GHB index size mismatch");
+    index_ = index;
+    const std::vector<std::uint64_t> tags = r.vecU64();
+    SnapshotReader::check(tags.size() == index_tag_.size(),
+                          "GHB index tag size mismatch");
+    index_tag_ = tags;
+    next_seq_ = r.u64();
+}
+
 } // namespace asd

@@ -42,6 +42,9 @@ class GhbMcPrefetcher : public BufferedMcPrefetcher
     /** Entries currently valid in the history buffer (tests). */
     std::size_t historySize() const;
 
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
+
   private:
     struct GhbEntry
     {

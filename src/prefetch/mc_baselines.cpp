@@ -114,4 +114,39 @@ P5StyleMcPrefetcher::tick(Cycle now)
         filter.expireLifetimes(now);
 }
 
+void
+BufferedMcPrefetcher::saveState(SnapshotWriter &w) const
+{
+    buffer_.saveState(w);
+    sched_.saveState(w);
+    w.u32(epoch_reads_seen_);
+}
+
+void
+BufferedMcPrefetcher::loadState(SnapshotReader &r)
+{
+    buffer_.loadState(r);
+    sched_.loadState(r);
+    epoch_reads_seen_ = r.u32();
+}
+
+void
+P5StyleMcPrefetcher::saveState(SnapshotWriter &w) const
+{
+    BufferedMcPrefetcher::saveState(w);
+    w.u64(filters_.size());
+    for (const StreamFilter &filter : filters_)
+        filter.saveState(w);
+}
+
+void
+P5StyleMcPrefetcher::loadState(SnapshotReader &r)
+{
+    BufferedMcPrefetcher::loadState(r);
+    SnapshotReader::check(r.u64() == filters_.size(),
+                          "P5 filter count mismatch");
+    for (StreamFilter &filter : filters_)
+        filter.loadState(r);
+}
+
 } // namespace asd

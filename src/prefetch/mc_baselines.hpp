@@ -40,6 +40,14 @@ class BufferedMcPrefetcher : public MemSidePrefetcher
     void notifyPrefetchConflict(Cycle now) override;
     void tick(Cycle now) override;
 
+    /**
+     * Checkpoint the shared plumbing (buffer, adaptive scheduler,
+     * epoch read count). Subclasses with policy state of their own
+     * override and call the base first.
+     */
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
+
     const PrefetchBuffer &buffer() const { return buffer_; }
 
   protected:
@@ -83,6 +91,9 @@ class P5StyleMcPrefetcher : public BufferedMcPrefetcher
                                       Cycle now) override;
 
     void tick(Cycle now) override;
+
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
 
   private:
     std::vector<StreamFilter> filters_; //!< one per thread

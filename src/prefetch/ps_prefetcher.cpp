@@ -138,4 +138,45 @@ PsPrefetcher::registerStats(StatRegistry &registry,
                  prefetches_requested_);
 }
 
+void
+PsPrefetcher::saveState(SnapshotWriter &w) const
+{
+    w.u64(table_.size());
+    for (const Entry &entry : table_) {
+        w.u64(entry.last);
+        w.u64(entry.furthest);
+        w.u64(entry.length);
+        w.u64(entry.lru);
+        w.u8(static_cast<std::uint8_t>(entry.dir));
+        w.b(entry.valid);
+        w.b(entry.active);
+    }
+    w.u64(clock_);
+    w.u64(streams_confirmed_.value());
+    w.u64(prefetches_requested_.value());
+}
+
+void
+PsPrefetcher::loadState(SnapshotReader &r)
+{
+    SnapshotReader::check(r.u64() == table_.size(),
+                          "PS detect-table size mismatch");
+    for (Entry &entry : table_) {
+        entry.last = r.u64();
+        entry.furthest = r.u64();
+        entry.length = r.u64();
+        entry.lru = r.u64();
+        const std::uint8_t dir = r.u8();
+        SnapshotReader::check(
+            dir <= static_cast<std::uint8_t>(StreamDir::Negative),
+            "stream direction out of range");
+        entry.dir = static_cast<StreamDir>(dir);
+        entry.valid = r.b();
+        entry.active = r.b();
+    }
+    clock_ = r.u64();
+    streams_confirmed_.restore(r.u64());
+    prefetches_requested_.restore(r.u64());
+}
+
 } // namespace asd

@@ -48,6 +48,9 @@ class PsPrefetcher : public CpuPrefetcher
     void registerStats(StatRegistry &registry,
                        const std::string &prefix) const override;
 
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
+
   private:
     struct Entry
     {

@@ -51,6 +51,9 @@ class StrideMcPrefetcher : public BufferedMcPrefetcher
 
     std::size_t liveSlots() const;
 
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
+
   private:
     struct Slot
     {

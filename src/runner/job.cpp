@@ -52,6 +52,8 @@ makeJobId(const Benchmark &bench, const RunOptions &options,
         id += ".oracle";
     if (options.accesses)
         id += ".acc" + std::to_string(*options.accesses);
+    if (options.warmup_cycles > 0)
+        id += ".wu" + std::to_string(options.warmup_cycles);
     if (seed)
         id += ".seed" + std::to_string(*seed);
     return id;

@@ -1,6 +1,7 @@
 #include "runner/result_sink.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <sstream>
 
@@ -87,6 +88,53 @@ JsonDirSink::write(const JobResult &result)
     entries_.push_back(std::move(entry));
 }
 
+bool
+JsonDirSink::adoptExisting(const JobSpec &spec)
+{
+    const std::string file = sanitizeFileStem(spec.id) + ".json";
+    const std::filesystem::path path =
+        std::filesystem::path(dir_) / file;
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string text = buffer.str();
+    while (!text.empty() &&
+           (text.back() == '\n' || text.back() == '\r'))
+        text.pop_back();
+    if (!jsonParseCheck(text))
+        return false;
+    // The record must be for this very job (a sanitized stem can
+    // collide across ids) and must have finished cleanly; failed or
+    // timed-out records are rerun.
+    if (text.find("\"schema\":\"asdsweep/result/v1\"") ==
+        std::string::npos)
+        return false;
+    if (text.find("\"id\":\"" + jsonEscape(spec.id) + "\"") ==
+        std::string::npos)
+        return false;
+    if (text.find("\"status\":\"ok\"") == std::string::npos)
+        return false;
+
+    Entry entry;
+    entry.id = spec.id;
+    entry.file = file;
+    entry.benchmark = spec.bench.name;
+    entry.status = "ok";
+    // Carry the original wall time into the new manifest. The key is
+    // emitted by recordJson, so it is present in any record that
+    // passed the checks above.
+    const std::string key = "\"wall_ms\":";
+    const std::size_t pos = text.find(key);
+    if (pos != std::string::npos)
+        entry.wall_ms = std::strtod(text.c_str() + pos + key.size(),
+                                    nullptr);
+    entries_.push_back(std::move(entry));
+    ++skipped_;
+    return true;
+}
+
 void
 JsonDirSink::finish(const SweepSummary &summary)
 {
@@ -105,6 +153,10 @@ JsonDirSink::finish(const SweepSummary &summary)
         static_cast<std::uint64_t>(summary.failed));
     writer.key("timed_out").value(
         static_cast<std::uint64_t>(summary.timed_out));
+    writer.key("warm_started").value(
+        static_cast<std::uint64_t>(summary.warm_started));
+    writer.key("skipped").value(
+        static_cast<std::uint64_t>(skipped_));
     writer.key("threads").value(
         static_cast<std::uint64_t>(summary.threads));
     writer.key("wall_ms").value(summary.wall_ms);

@@ -28,6 +28,9 @@ struct SweepSummary
     std::size_t failed = 0;
     std::size_t timed_out = 0;
 
+    /** Jobs wrapped to run from a shared warm-up snapshot. */
+    std::size_t warm_started = 0;
+
     /** Wall-clock duration of the whole sweep. */
     double wall_ms = 0.0;
 
@@ -77,6 +80,26 @@ class JsonDirSink : public ResultSink
         return dir_;
     }
 
+    /**
+     * Try to adopt an existing record for @p spec (sweep resume): if
+     * <dir>/<stem>.json exists, is valid JSON, and reports status
+     * "ok" for this very job id, keep it in the manifest without
+     * re-running the job and return true. Anything else — missing
+     * file, unparseable JSON, failed/timed-out status, a different
+     * job's record under the same stem — returns false, and the
+     * caller should run the job normally (overwriting the stale
+     * record). Adopted records count toward the manifest's "skipped"
+     * total.
+     */
+    bool adoptExisting(const JobSpec &spec);
+
+    /** Records adopted by adoptExisting() so far. */
+    std::size_t
+    skipped() const
+    {
+        return skipped_;
+    }
+
     /** Serialize one result to its record JSON (document string). */
     static std::string recordJson(const JobResult &result);
 
@@ -92,6 +115,7 @@ class JsonDirSink : public ResultSink
 
     std::string dir_;
     std::vector<Entry> entries_;
+    std::size_t skipped_ = 0;
 };
 
 /** Appends one CSV row per job to a single file (header included). */

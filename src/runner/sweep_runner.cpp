@@ -1,9 +1,12 @@
 #include "runner/sweep_runner.hpp"
 
 #include <chrono>
+#include <memory>
 #include <mutex>
+#include <utility>
 
 #include "runner/thread_pool.hpp"
+#include "runner/warm_start.hpp"
 
 namespace asd
 {
@@ -14,8 +17,16 @@ SweepRunner::SweepRunner(SweepOptions options)
 }
 
 std::vector<JobResult>
-SweepRunner::run(const std::vector<JobSpec> &jobs)
+SweepRunner::run(const std::vector<JobSpec> &jobs_in)
 {
+    std::vector<JobSpec> jobs = jobs_in;
+    std::size_t warm_started = 0;
+    if (options_.warm_start) {
+        auto cache =
+            std::make_shared<WarmupCache>(options_.snapshot_dir);
+        warm_started = applyWarmStart(jobs, std::move(cache));
+    }
+
     const auto start = std::chrono::steady_clock::now();
     const auto elapsedMs = [start] {
         return std::chrono::duration<double, std::milli>(
@@ -33,6 +44,7 @@ SweepRunner::run(const std::vector<JobSpec> &jobs)
     summary_ = SweepSummary{};
     summary_.jobs = jobs.size();
     summary_.threads = threads;
+    summary_.warm_started = warm_started;
 
     std::vector<JobResult> results(jobs.size());
     if (!jobs.empty()) {

@@ -49,6 +49,22 @@ struct SweepOptions
     /** Applied to jobs whose own timeout_ms is 0 (0 = none). */
     double default_timeout_ms = 0.0;
 
+    /**
+     * Share warm-up snapshots across jobs (see runner/warm_start.hpp):
+     * each distinct warm-up among eligible jobs (default body,
+     * warmup_cycles > 0) is simulated once and forked. Per-job
+     * results stay byte-identical to cold starts.
+     */
+    bool warm_start = false;
+
+    /**
+     * On-disk warm-up snapshot cache (used only with warm_start);
+     * empty = in-memory only. Snapshots persist across sweeps and
+     * are validated before reuse — a mismatch falls back to a fresh
+     * warm-up.
+     */
+    std::string snapshot_dir;
+
     /** Invoked after each job, serialized. */
     std::function<void(const SweepProgress &)> on_progress;
 

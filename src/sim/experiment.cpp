@@ -69,6 +69,7 @@ makeSystemConfig(const RunOptions &options)
         config.asd.sched.fixed_policy = *options.fixed_policy;
     }
     config.telemetry = options.telemetry;
+    config.warmup_cycles = options.warmup_cycles;
     return config;
 }
 

@@ -45,6 +45,15 @@ struct RunOptions
     /** Override the benchmark's trace length. */
     std::optional<std::uint64_t> accesses;
 
+    /**
+     * Cycles before the memory-side prefetcher is armed (see
+     * SystemConfig::warmup_cycles). While disarmed the machine
+     * evolves exactly as if no MS prefetcher were attached, which is
+     * what makes one warm-up snapshot reusable across MS-parameter
+     * sweeps. 0 = armed from the start.
+     */
+    Cycle warmup_cycles = 0;
+
     /** Virtual-memory layer (off by default => seed-identical). */
     VmConfig vm;
 

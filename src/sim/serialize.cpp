@@ -151,6 +151,7 @@ writeJson(JsonWriter &writer, const RunOptions &options)
         writer.value(*options.accesses);
     else
         writer.null();
+    writer.key("warmup_cycles").value(options.warmup_cycles);
     writer.key("vm").beginObject();
     writer.key("enabled").value(options.vm.enabled);
     writer.key("policy").value(toString(options.vm.policy));

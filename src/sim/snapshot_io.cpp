@@ -1,0 +1,107 @@
+#include "sim/snapshot_io.hpp"
+
+#include "sim/serialize.hpp"
+
+namespace asd
+{
+
+namespace
+{
+
+template <typename Enum>
+Enum
+readEnum(SnapshotReader &r, Enum max, const char *what)
+{
+    const std::uint8_t v = r.u8();
+    SnapshotReader::check(v <= static_cast<std::uint8_t>(max), what);
+    return static_cast<Enum>(v);
+}
+
+} // namespace
+
+void
+saveRunOptions(SnapshotWriter &w, const RunOptions &options)
+{
+    w.u8(static_cast<std::uint8_t>(options.mode));
+    w.u8(static_cast<std::uint8_t>(options.mc_prefetcher));
+    w.u8(static_cast<std::uint8_t>(options.ps_kind));
+    w.u8(static_cast<std::uint8_t>(options.scheduler));
+    w.b(options.fixed_policy.has_value());
+    w.i64(options.fixed_policy.value_or(0));
+    w.u32(options.buffer_lines);
+    w.u32(options.filter_slots);
+    w.u32(options.max_degree);
+    w.b(options.saturate_long_streams);
+    w.b(options.ps_oracle);
+    w.b(options.accesses.has_value());
+    w.u64(options.accesses.value_or(0));
+    w.u64(options.warmup_cycles);
+    w.b(options.vm.enabled);
+    w.u8(static_cast<std::uint8_t>(options.vm.policy));
+    w.u64(options.vm.page_bytes);
+    w.u64(options.vm.huge_bytes);
+    w.u64(options.vm.phys_bytes);
+    w.u64(options.vm.seed);
+    w.u32(options.vm.tlb.entries);
+    w.u32(options.vm.tlb.ways);
+    w.u64(options.vm.tlb.walk_cycles);
+    w.b(options.telemetry.enabled);
+    w.b(options.telemetry.capture_slh);
+    w.u64(options.telemetry.max_epochs);
+}
+
+RunOptions
+loadRunOptions(SnapshotReader &r)
+{
+    RunOptions options;
+    options.mode =
+        readEnum(r, PrefetchMode::PMS, "prefetch mode out of range");
+    options.mc_prefetcher =
+        readEnum(r, McPrefetcherKind::Stride,
+                 "memory-side prefetcher kind out of range");
+    options.ps_kind =
+        readEnum(r, PsKind::Asd,
+                 "processor-side prefetcher kind out of range");
+    options.scheduler = readEnum(r, SchedulerKind::FrFcfs,
+                                 "scheduler kind out of range");
+    const bool has_policy = r.b();
+    const std::int64_t policy = r.i64();
+    if (has_policy)
+        options.fixed_policy = static_cast<int>(policy);
+    options.buffer_lines = r.u32();
+    options.filter_slots = r.u32();
+    options.max_degree = r.u32();
+    options.saturate_long_streams = r.b();
+    options.ps_oracle = r.b();
+    const bool has_accesses = r.b();
+    const std::uint64_t accesses = r.u64();
+    if (has_accesses)
+        options.accesses = accesses;
+    options.warmup_cycles = r.u64();
+    options.vm.enabled = r.b();
+    options.vm.policy =
+        readEnum(r, FrameAllocPolicy::HugePage,
+                 "frame-allocation policy out of range");
+    options.vm.page_bytes = r.u64();
+    options.vm.huge_bytes = r.u64();
+    options.vm.phys_bytes = r.u64();
+    options.vm.seed = r.u64();
+    options.vm.tlb.entries = r.u32();
+    options.vm.tlb.ways = r.u32();
+    options.vm.tlb.walk_cycles = r.u64();
+    options.telemetry.enabled = r.b();
+    options.telemetry.capture_slh = r.b();
+    options.telemetry.max_epochs =
+        static_cast<std::size_t>(r.u64());
+    return options;
+}
+
+std::uint64_t
+runConfigHash(const std::string &bench_name, std::uint64_t accesses,
+              const RunOptions &options)
+{
+    return fnv1a64(bench_name + "\n" + std::to_string(accesses) +
+                   "\n" + toJson(options));
+}
+
+} // namespace asd

@@ -44,6 +44,12 @@ System::System(const SystemConfig &config,
     if (traces.empty())
         fatal("System: at least one trace required");
 
+    // During warm-up the controller must behave exactly as if no
+    // memory-side prefetcher were attached; runUntil() arms it at the
+    // boundary.
+    if (config_.warmup_cycles > 0)
+        mc_.setPrefetcherArmed(false);
+
     const auto threads = static_cast<std::uint32_t>(traces.size());
 
     if (config_.hasMs()) {
@@ -265,10 +271,26 @@ System::fastForwardable() const
     return skip - 1;
 }
 
-RunMetrics
-System::run()
+void
+System::armPrefetcher()
+{
+    mc_.setPrefetcherArmed(true);
+    if (telemetry_)
+        telemetry_->rebaseline(now_);
+}
+
+void
+System::runUntil(Cycle target)
 {
     while (!everythingDone()) {
+        // The target break comes BEFORE arming: runUntil(W) leaves
+        // the machine disarmed at the boundary, and both "resume
+        // after restore" and "run straight through" then arm at the
+        // identical loop iteration.
+        if (now_ >= target)
+            break;
+        if (!mc_.prefetcherArmed() && now_ >= config_.warmup_cycles)
+            armPrefetcher();
         if (now_ >= config_.max_cycles)
             fatal("System: max_cycles exceeded; simulation wedged?");
         for (auto &cpu : cpus_)
@@ -279,7 +301,18 @@ System::run()
         const Cycles skip = fastForwardable();
         now_ += 1 + skip;
     }
+}
 
+RunMetrics
+System::run()
+{
+    runUntil(kNoCycle);
+    return collectMetrics();
+}
+
+RunMetrics
+System::collectMetrics() const
+{
     RunMetrics metrics;
     metrics.cycles = now_;
     for (const auto &cpu : cpus_)
@@ -330,6 +363,206 @@ System::run()
         }
     }
     return metrics;
+}
+
+MemSidePrefetcher *
+System::msPrefetcher() const
+{
+    if (asd_)
+        return asd_.get();
+    return baseline_.get();
+}
+
+void
+System::saveSnapshot(SnapshotWriter &w) const
+{
+    w.beginSection("sys");
+    w.b(mc_.prefetcherArmed());
+    w.u64(now_);
+    w.u64(pending_writebacks_.size());
+    for (const LineAddr line : pending_writebacks_)
+        w.u64(line);
+    // Unordered containers are written in sorted key order so that
+    // save -> load -> save is byte-identical; simulation only point-
+    // queries them, so restore order never changes behaviour.
+    std::vector<std::uint64_t> inflight(ps_inflight_.begin(),
+                                        ps_inflight_.end());
+    std::sort(inflight.begin(), inflight.end());
+    w.vecU64(inflight);
+    std::vector<LineAddr> waiter_lines;
+    waiter_lines.reserve(ps_waiters_.size());
+    for (const auto &entry : ps_waiters_)
+        waiter_lines.push_back(entry.first);
+    std::sort(waiter_lines.begin(), waiter_lines.end());
+    w.u64(waiter_lines.size());
+    for (const LineAddr line : waiter_lines) {
+        w.u64(line);
+        w.vecU64(ps_waiters_.at(line));
+    }
+    w.u64(ps_prefetch_reads_.value());
+    w.u64(ps_prefetch_l3_fills_.value());
+    w.u64(ps_prefetch_dropped_.value());
+    w.u64(ps_merged_demands_.value());
+    w.u32(static_cast<std::uint32_t>(cpus_.size()));
+    w.b(msPrefetcher() != nullptr);
+    w.b(!ps_.empty());
+    w.b(frames_ != nullptr);
+    w.b(telemetry_ != nullptr);
+    w.endSection();
+
+    for (std::size_t t = 0; t < cpus_.size(); ++t) {
+        w.beginSection("cpu" + std::to_string(t));
+        cpus_[t]->saveState(w);
+        w.endSection();
+    }
+
+    w.beginSection("cache");
+    hierarchy_.saveState(w);
+    w.endSection();
+
+    w.beginSection("mc");
+    mc_.saveState(w);
+    w.endSection();
+
+    w.beginSection("dram");
+    dram_.saveState(w);
+    w.endSection();
+
+    if (const MemSidePrefetcher *ms = msPrefetcher()) {
+        w.beginSection("ms");
+        w.u8(static_cast<std::uint8_t>(config_.mc_prefetcher));
+        ms->saveState(w);
+        w.endSection();
+    }
+
+    for (std::size_t t = 0; t < ps_.size(); ++t) {
+        w.beginSection("ps" + std::to_string(t));
+        ps_[t]->saveState(w);
+        w.endSection();
+    }
+
+    if (frames_) {
+        w.beginSection("vm");
+        frames_->saveState(w);
+        for (const auto &mmu : mmus_)
+            mmu->saveState(w);
+        w.endSection();
+    }
+
+    if (telemetry_) {
+        w.beginSection("tel");
+        telemetry_->saveState(w);
+        w.endSection();
+    }
+}
+
+void
+System::loadSnapshot(SnapshotReader &r)
+{
+    r.openSection("sys");
+    const bool armed = r.b();
+    now_ = r.u64();
+    const std::uint64_t writebacks = r.u64();
+    pending_writebacks_.clear();
+    for (std::uint64_t i = 0; i < writebacks; ++i)
+        pending_writebacks_.push_back(r.u64());
+    const std::vector<std::uint64_t> inflight = r.vecU64();
+    ps_inflight_.clear();
+    for (const std::uint64_t line : inflight) {
+        SnapshotReader::check(ps_inflight_.insert(line).second,
+                              "duplicate in-flight prefetch line");
+    }
+    const std::uint64_t waiter_lines = r.u64();
+    ps_waiters_.clear();
+    for (std::uint64_t i = 0; i < waiter_lines; ++i) {
+        const LineAddr line = r.u64();
+        std::vector<std::uint64_t> waiters = r.vecU64();
+        SnapshotReader::check(
+            ps_waiters_.emplace(line, std::move(waiters)).second,
+            "duplicate prefetch-waiter line");
+    }
+    ps_prefetch_reads_.restore(r.u64());
+    ps_prefetch_l3_fills_.restore(r.u64());
+    ps_prefetch_dropped_.restore(r.u64());
+    ps_merged_demands_.restore(r.u64());
+    SnapshotReader::check(r.u32() == cpus_.size(),
+                          "snapshot thread count mismatch");
+    const bool snap_ms = r.b();
+    const bool snap_ps = r.b();
+    const bool snap_vm = r.b();
+    const bool snap_tel = r.b();
+    r.endSection();
+
+    // The processor side and VM layer shape the pre-checkpoint
+    // evolution, so they must match exactly. A snapshot WITHOUT
+    // memory-side prefetcher / telemetry state may be restored into a
+    // machine that HAS them (warm-start forking: the warm-up ran
+    // disarmed, the restored machine arms at the boundary and its
+    // prefetcher starts from its freshly-built state) — but not the
+    // reverse.
+    SnapshotReader::check(
+        !snap_ms || msPrefetcher() != nullptr,
+        "snapshot carries memory-side prefetcher state but this "
+        "machine has none");
+    SnapshotReader::check(snap_ps == !ps_.empty(),
+                          "processor-side prefetcher presence mismatch");
+    SnapshotReader::check(snap_vm == (frames_ != nullptr),
+                          "virtual-memory presence mismatch");
+    SnapshotReader::check(
+        !snap_tel || telemetry_ != nullptr,
+        "snapshot carries telemetry state but this machine has no "
+        "recorder");
+    mc_.setPrefetcherArmed(armed);
+
+    for (std::size_t t = 0; t < cpus_.size(); ++t) {
+        r.openSection("cpu" + std::to_string(t));
+        cpus_[t]->loadState(r);
+        r.endSection();
+    }
+
+    r.openSection("cache");
+    hierarchy_.loadState(r);
+    r.endSection();
+
+    r.openSection("mc");
+    mc_.loadState(r);
+    r.endSection();
+
+    r.openSection("dram");
+    dram_.loadState(r);
+    r.endSection();
+
+    if (snap_ms) {
+        r.openSection("ms");
+        SnapshotReader::check(
+            r.u8() ==
+                static_cast<std::uint8_t>(config_.mc_prefetcher),
+            "memory-side prefetcher kind mismatch");
+        msPrefetcher()->loadState(r);
+        r.endSection();
+    }
+
+    if (snap_ps) {
+        for (std::size_t t = 0; t < ps_.size(); ++t) {
+            r.openSection("ps" + std::to_string(t));
+            ps_[t]->loadState(r);
+            r.endSection();
+        }
+    }
+
+    if (snap_vm) {
+        r.openSection("vm");
+        frames_->loadState(r);
+        for (const auto &mmu : mmus_)
+            mmu->loadState(r);
+        r.endSection();
+    }
+
+    if (snap_tel) {
+        r.openSection("tel");
+        telemetry_->loadState(r);
+        r.endSection();
+    }
 }
 
 } // namespace asd

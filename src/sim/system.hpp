@@ -26,6 +26,7 @@
 #include "prefetch/ps_prefetcher.hpp"
 #include "sim/metrics.hpp"
 #include "sim/system_config.hpp"
+#include "snapshot/snapshot.hpp"
 #include "telemetry/recorder.hpp"
 #include "vm/mmu.hpp"
 
@@ -46,6 +47,40 @@ class System : public MemPort
 
     /** Run to completion and report. */
     RunMetrics run();
+
+    /**
+     * Advance the machine until everything is done or @p target is
+     * reached (whichever comes first; pass kNoCycle for "run to
+     * completion"). Resumable: calling runUntil(kNoCycle) after
+     * runUntil(C) produces the exact cycle-by-cycle evolution of a
+     * single uninterrupted run — the checkpoint/restore path depends
+     * on this.
+     */
+    void runUntil(Cycle target);
+
+    /** Summarize the machine as it stands now (run() = runUntil +
+     *  collectMetrics). */
+    RunMetrics collectMetrics() const;
+
+    // Checkpoint/restore --------------------------------------------
+    /**
+     * Serialize the complete machine state into @p w as named
+     * sections ("sys", "cpu<t>", "cache", "mc", "dram", plus "ms",
+     * "ps<t>", "vm", "tel" when those layers are present). The caller
+     * owns the surrounding file format (config hash, metadata).
+     * Deterministic: saving twice from the same state yields
+     * byte-identical payloads.
+     */
+    void saveSnapshot(SnapshotWriter &w) const;
+
+    /**
+     * Restore state saved by saveSnapshot into a System built from an
+     * equivalent SystemConfig and identical traces. Throws
+     * SnapshotError when the snapshot's shape does not match this
+     * machine (section missing, table size mismatch, value out of
+     * range).
+     */
+    void loadSnapshot(SnapshotReader &r);
 
     // MemPort interface (called by the trace CPUs) ------------------
     bool demandRead(LineAddr line, std::uint32_t thread,
@@ -92,6 +127,15 @@ class System : public MemPort
     void drainWritebacks();
     bool everythingDone() const;
     Cycles fastForwardable() const;
+
+    /**
+     * End of warm-up: let the controller see its prefetcher and
+     * re-anchor telemetry so epoch deltas exclude warm-up activity.
+     */
+    void armPrefetcher();
+
+    /** The active memory-side prefetcher, whichever kind it is. */
+    MemSidePrefetcher *msPrefetcher() const;
 
     SystemConfig config_;
     Dram dram_;

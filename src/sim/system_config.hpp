@@ -93,6 +93,17 @@ struct SystemConfig
     Cycle max_cycles = 400'000'000;
 
     /**
+     * Cycles to run before the memory-side prefetcher is armed.
+     * While disarmed the controller behaves exactly as if no MS
+     * prefetcher were attached, so the pre-boundary machine state is
+     * independent of every ASD/baseline knob — which is what lets a
+     * sweep snapshot one warm-up and fork it across configurations
+     * that differ only in prefetcher parameters. 0 = armed from
+     * cycle 0 (the default, identical to historical behaviour).
+     */
+    Cycle warmup_cycles = 0;
+
+    /**
      * Skip cycles in which no component can make progress. Purely a
      * simulation speedup; results are identical either way (tested).
      */

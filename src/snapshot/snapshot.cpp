@@ -1,0 +1,438 @@
+#include "snapshot/snapshot.hpp"
+
+#include <array>
+#include <bit>
+#include <cstdio>
+#include <fstream>
+
+#include "common/log.hpp"
+
+namespace asd
+{
+
+namespace
+{
+
+constexpr std::array<char, 8> kMagic = {'a', 's', 'd', 's',
+                                        'n', 'a', 'p', '\0'};
+
+std::array<std::uint32_t, 256>
+buildCrcTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int bit = 0; bit < 8; ++bit)
+            c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+void
+putU32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+    out.push_back(static_cast<std::uint8_t>(v >> 16));
+    out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int shift = 0; shift < 64; shift += 8)
+        out.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const std::uint8_t *data, std::size_t size)
+{
+    static const std::array<std::uint32_t, 256> table =
+        buildCrcTable();
+    std::uint32_t crc = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < size; ++i)
+        crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+    return crc ^ 0xFFFFFFFFu;
+}
+
+std::uint64_t
+fnv1a64(std::string_view text)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (const char c : text) {
+        hash ^= static_cast<std::uint8_t>(c);
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+// --- SnapshotWriter ------------------------------------------------
+
+void
+SnapshotWriter::beginSection(std::string_view name)
+{
+    panicIfNot(!finished_, "SnapshotWriter: write after finish()");
+    panicIfNot(!open_, "SnapshotWriter: nested beginSection");
+    for (const Section &section : sections_)
+        panicIfNot(section.name != name,
+                   "SnapshotWriter: duplicate section name");
+    sections_.push_back({std::string(name), {}});
+    open_ = true;
+}
+
+void
+SnapshotWriter::endSection()
+{
+    panicIfNot(open_, "SnapshotWriter: endSection without begin");
+    open_ = false;
+}
+
+void
+SnapshotWriter::u8(std::uint8_t v)
+{
+    panicIfNot(open_, "SnapshotWriter: write outside a section");
+    sections_.back().payload.push_back(v);
+}
+
+void
+SnapshotWriter::u32(std::uint32_t v)
+{
+    panicIfNot(open_, "SnapshotWriter: write outside a section");
+    putU32(sections_.back().payload, v);
+}
+
+void
+SnapshotWriter::u64(std::uint64_t v)
+{
+    panicIfNot(open_, "SnapshotWriter: write outside a section");
+    putU64(sections_.back().payload, v);
+}
+
+void
+SnapshotWriter::i64(std::int64_t v)
+{
+    u64(static_cast<std::uint64_t>(v));
+}
+
+void
+SnapshotWriter::f64(double v)
+{
+    u64(std::bit_cast<std::uint64_t>(v));
+}
+
+void
+SnapshotWriter::b(bool v)
+{
+    u8(v ? 1 : 0);
+}
+
+void
+SnapshotWriter::str(std::string_view v)
+{
+    u32(static_cast<std::uint32_t>(v.size()));
+    panicIfNot(open_, "SnapshotWriter: write outside a section");
+    std::vector<std::uint8_t> &payload = sections_.back().payload;
+    for (const char c : v)
+        payload.push_back(static_cast<std::uint8_t>(c));
+}
+
+void
+SnapshotWriter::vecU64(const std::vector<std::uint64_t> &v)
+{
+    u64(v.size());
+    for (const std::uint64_t value : v)
+        u64(value);
+}
+
+std::vector<std::uint8_t>
+SnapshotWriter::finish(std::uint64_t config_hash)
+{
+    panicIfNot(!open_, "SnapshotWriter: finish with open section");
+    panicIfNot(!finished_, "SnapshotWriter: double finish");
+    finished_ = true;
+
+    std::vector<std::uint8_t> out;
+    for (const char c : kMagic)
+        out.push_back(static_cast<std::uint8_t>(c));
+    putU32(out, kSnapshotFormatVersion);
+    putU64(out, config_hash);
+    putU32(out, static_cast<std::uint32_t>(sections_.size()));
+    for (const Section &section : sections_) {
+        putU32(out, static_cast<std::uint32_t>(section.name.size()));
+        for (const char c : section.name)
+            out.push_back(static_cast<std::uint8_t>(c));
+        putU64(out, section.payload.size());
+        putU32(out, crc32(section.payload.data(),
+                          section.payload.size()));
+        out.insert(out.end(), section.payload.begin(),
+                   section.payload.end());
+    }
+    return out;
+}
+
+// --- SnapshotReader ------------------------------------------------
+
+SnapshotReader::SnapshotReader(std::vector<std::uint8_t> bytes)
+    : bytes_(std::move(bytes))
+{
+    // Parse with a local cursor; primitive reads reuse the member
+    // cursor only after openSection().
+    std::size_t pos = 0;
+    const auto take = [&](std::size_t n, const char *what) {
+        if (pos + n > bytes_.size() || pos + n < pos)
+            throw SnapshotError(std::string("snapshot truncated in ") +
+                                what);
+        pos += n;
+        return pos - n;
+    };
+    const auto takeU32 = [&](const char *what) {
+        const std::size_t at = take(4, what);
+        std::uint32_t v = 0;
+        for (int i = 3; i >= 0; --i)
+            v = (v << 8) |
+                bytes_[at + static_cast<std::size_t>(i)];
+        return v;
+    };
+    const auto takeU64 = [&](const char *what) {
+        const std::size_t at = take(8, what);
+        std::uint64_t v = 0;
+        for (int i = 7; i >= 0; --i)
+            v = (v << 8) |
+                bytes_[at + static_cast<std::size_t>(i)];
+        return v;
+    };
+
+    const std::size_t magic_at = take(kMagic.size(), "magic");
+    for (std::size_t i = 0; i < kMagic.size(); ++i) {
+        if (bytes_[magic_at + i] !=
+            static_cast<std::uint8_t>(kMagic[i]))
+            throw SnapshotError(
+                "not a snapshot: bad magic (expected asdsnap)");
+    }
+    const std::uint32_t version = takeU32("format version");
+    if (version != kSnapshotFormatVersion)
+        throw SnapshotError(
+            "unsupported snapshot format version " +
+            std::to_string(version) + " (this build reads v" +
+            std::to_string(kSnapshotFormatVersion) + ")");
+    config_hash_ = takeU64("config hash");
+    const std::uint32_t count = takeU32("section count");
+
+    for (std::uint32_t s = 0; s < count; ++s) {
+        const std::uint32_t name_len = takeU32("section name length");
+        const std::size_t name_at = take(name_len, "section name");
+        Section section;
+        section.name.assign(
+            reinterpret_cast<const char *>(bytes_.data() + name_at),
+            name_len);
+        const std::uint64_t payload_len =
+            takeU64("section payload length");
+        const std::uint32_t stored_crc = takeU32("section CRC");
+        section.size = static_cast<std::size_t>(payload_len);
+        section.offset =
+            take(section.size, section.name.empty()
+                                   ? "section payload"
+                                   : section.name.c_str());
+        const std::uint32_t actual_crc =
+            crc32(bytes_.data() + section.offset, section.size);
+        if (actual_crc != stored_crc)
+            throw SnapshotError("snapshot section \"" + section.name +
+                                "\" is corrupt (CRC mismatch)");
+        if (find(section.name) != nullptr)
+            throw SnapshotError("snapshot has duplicate section \"" +
+                                section.name + "\"");
+        sections_.push_back(std::move(section));
+    }
+    if (pos != bytes_.size())
+        throw SnapshotError("snapshot has trailing garbage after "
+                            "the last section");
+}
+
+void
+SnapshotReader::requireConfigHash(std::uint64_t expected) const
+{
+    if (config_hash_ != expected) {
+        char text[64];
+        std::snprintf(text, sizeof(text),
+                      "%016llx, expected %016llx",
+                      static_cast<unsigned long long>(config_hash_),
+                      static_cast<unsigned long long>(expected));
+        throw SnapshotError(
+            std::string("snapshot config hash mismatch: snapshot "
+                        "was taken under ") +
+            text);
+    }
+}
+
+const SnapshotReader::Section *
+SnapshotReader::find(std::string_view name) const
+{
+    for (const Section &section : sections_) {
+        if (section.name == name)
+            return &section;
+    }
+    return nullptr;
+}
+
+bool
+SnapshotReader::hasSection(std::string_view name) const
+{
+    return find(name) != nullptr;
+}
+
+void
+SnapshotReader::openSection(std::string_view name)
+{
+    panicIfNot(!open_, "SnapshotReader: nested openSection");
+    const Section *section = find(name);
+    if (!section)
+        throw SnapshotError("snapshot is missing section \"" +
+                            std::string(name) + "\"");
+    open_name_ = section->name;
+    cursor_ = section->offset;
+    end_ = section->offset + section->size;
+    open_ = true;
+}
+
+void
+SnapshotReader::endSection()
+{
+    panicIfNot(open_, "SnapshotReader: endSection without open");
+    if (cursor_ != end_)
+        throw SnapshotError(
+            "snapshot section \"" + open_name_ + "\" has " +
+            std::to_string(end_ - cursor_) +
+            " unread trailing bytes (layout mismatch)");
+    open_ = false;
+}
+
+void
+SnapshotReader::need(std::size_t n)
+{
+    panicIfNot(open_, "SnapshotReader: read outside a section");
+    if (cursor_ + n > end_)
+        throw SnapshotError("snapshot section \"" + open_name_ +
+                            "\" is too short (layout mismatch)");
+}
+
+std::uint8_t
+SnapshotReader::u8()
+{
+    need(1);
+    return bytes_[cursor_++];
+}
+
+std::uint32_t
+SnapshotReader::u32()
+{
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | bytes_[cursor_ + static_cast<std::size_t>(i)];
+    cursor_ += 4;
+    return v;
+}
+
+std::uint64_t
+SnapshotReader::u64()
+{
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | bytes_[cursor_ + static_cast<std::size_t>(i)];
+    cursor_ += 8;
+    return v;
+}
+
+std::int64_t
+SnapshotReader::i64()
+{
+    return static_cast<std::int64_t>(u64());
+}
+
+double
+SnapshotReader::f64()
+{
+    return std::bit_cast<double>(u64());
+}
+
+bool
+SnapshotReader::b()
+{
+    const std::uint8_t v = u8();
+    if (v > 1)
+        throw SnapshotError("snapshot section \"" + open_name_ +
+                            "\" has a malformed bool");
+    return v != 0;
+}
+
+std::string
+SnapshotReader::str()
+{
+    const std::uint32_t len = u32();
+    need(len);
+    std::string v(
+        reinterpret_cast<const char *>(bytes_.data() + cursor_), len);
+    cursor_ += len;
+    return v;
+}
+
+std::vector<std::uint64_t>
+SnapshotReader::vecU64()
+{
+    const std::uint64_t count = u64();
+    // An 8-byte-per-element lower bound rejects absurd counts before
+    // any allocation.
+    if (count > (end_ - cursor_) / 8)
+        throw SnapshotError("snapshot section \"" + open_name_ +
+                            "\" has an oversized array");
+    std::vector<std::uint64_t> v;
+    v.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i)
+        v.push_back(u64());
+    return v;
+}
+
+void
+SnapshotReader::check(bool ok, const std::string &what)
+{
+    if (!ok)
+        throw SnapshotError(what);
+}
+
+// --- Files ---------------------------------------------------------
+
+void
+writeSnapshotFile(const std::string &path,
+                  const std::vector<std::uint8_t> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        throw SnapshotError("cannot open snapshot file for writing: " +
+                            path);
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out)
+        throw SnapshotError("short write to snapshot file: " + path);
+}
+
+std::vector<std::uint8_t>
+readSnapshotFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in)
+        throw SnapshotError("cannot open snapshot file: " + path);
+    const std::streamsize size = in.tellg();
+    in.seekg(0);
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+    in.read(reinterpret_cast<char *>(bytes.data()), size);
+    if (!in)
+        throw SnapshotError("short read from snapshot file: " + path);
+    return bytes;
+}
+
+} // namespace asd

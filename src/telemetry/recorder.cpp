@@ -117,4 +117,134 @@ TelemetryRecorder::onEpochEnd(Cycle now)
     baseline_.cycle = now;
 }
 
+void
+TelemetryRecorder::rebaseline(Cycle now)
+{
+    baseline_ = sampleCounters();
+    baseline_.cycle = now;
+    mc_.resetQueueHighWater();
+}
+
+void
+TelemetryRecorder::saveState(SnapshotWriter &w) const
+{
+    const std::uint64_t fields[16] = {
+        baseline_.reads,
+        baseline_.suggested,
+        baseline_.suppressed,
+        baseline_.overflow_reads,
+        baseline_.stream_merges,
+        baseline_.lht_underflow_clamps,
+        baseline_.prefetches_issued,
+        baseline_.buffer_hits,
+        baseline_.buffer_consumed,
+        baseline_.merged_useful,
+        baseline_.lpq_dropped,
+        baseline_.conflicts,
+        baseline_.regulars_delayed,
+        baseline_.dram_row_hits,
+        baseline_.dram_row_misses,
+        baseline_.cycle,
+    };
+    for (const std::uint64_t field : fields)
+        w.u64(field);
+    w.b(capped_);
+    w.u64(records_.size());
+    for (const EpochRecord &rec : records_) {
+        w.u64(rec.epoch);
+        w.u64(rec.start_cycle);
+        w.u64(rec.end_cycle);
+        w.u64(rec.reads);
+        w.u64(rec.suggested);
+        w.u64(rec.suppressed);
+        w.u64(rec.overflow_reads);
+        w.u64(rec.stream_merges);
+        w.u64(rec.lht_underflow_clamps);
+        w.u64(rec.prefetches_issued);
+        w.u64(rec.buffer_hits);
+        w.u64(rec.buffer_consumed);
+        w.u64(rec.merged_useful);
+        w.u64(rec.lpq_dropped);
+        w.u32(static_cast<std::uint32_t>(rec.policy));
+        w.u64(rec.conflicts);
+        w.u64(rec.regulars_delayed);
+        w.u64(rec.dram_row_hits);
+        w.u64(rec.dram_row_misses);
+        w.u64(rec.read_q_hwm);
+        w.u64(rec.write_q_hwm);
+        w.u64(rec.caq_hwm);
+        w.u64(rec.lpq_hwm);
+        w.f64(rec.accuracy_pct);
+        w.f64(rec.coverage_pct);
+        w.u64(rec.slh.size());
+        for (const EpochLht &lht : rec.slh) {
+            w.u32(lht.thread);
+            w.vecU64(lht.positive);
+            w.vecU64(lht.negative);
+        }
+    }
+}
+
+void
+TelemetryRecorder::loadState(SnapshotReader &r)
+{
+    baseline_.reads = r.u64();
+    baseline_.suggested = r.u64();
+    baseline_.suppressed = r.u64();
+    baseline_.overflow_reads = r.u64();
+    baseline_.stream_merges = r.u64();
+    baseline_.lht_underflow_clamps = r.u64();
+    baseline_.prefetches_issued = r.u64();
+    baseline_.buffer_hits = r.u64();
+    baseline_.buffer_consumed = r.u64();
+    baseline_.merged_useful = r.u64();
+    baseline_.lpq_dropped = r.u64();
+    baseline_.conflicts = r.u64();
+    baseline_.regulars_delayed = r.u64();
+    baseline_.dram_row_hits = r.u64();
+    baseline_.dram_row_misses = r.u64();
+    baseline_.cycle = r.u64();
+    capped_ = r.b();
+    const std::uint64_t count = r.u64();
+    records_.clear();
+    records_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        EpochRecord rec;
+        rec.epoch = r.u64();
+        rec.start_cycle = r.u64();
+        rec.end_cycle = r.u64();
+        rec.reads = r.u64();
+        rec.suggested = r.u64();
+        rec.suppressed = r.u64();
+        rec.overflow_reads = r.u64();
+        rec.stream_merges = r.u64();
+        rec.lht_underflow_clamps = r.u64();
+        rec.prefetches_issued = r.u64();
+        rec.buffer_hits = r.u64();
+        rec.buffer_consumed = r.u64();
+        rec.merged_useful = r.u64();
+        rec.lpq_dropped = r.u64();
+        rec.policy = static_cast<int>(r.u32());
+        rec.conflicts = r.u64();
+        rec.regulars_delayed = r.u64();
+        rec.dram_row_hits = r.u64();
+        rec.dram_row_misses = r.u64();
+        rec.read_q_hwm = static_cast<std::size_t>(r.u64());
+        rec.write_q_hwm = static_cast<std::size_t>(r.u64());
+        rec.caq_hwm = static_cast<std::size_t>(r.u64());
+        rec.lpq_hwm = static_cast<std::size_t>(r.u64());
+        rec.accuracy_pct = r.f64();
+        rec.coverage_pct = r.f64();
+        const std::uint64_t lhts = r.u64();
+        for (std::uint64_t j = 0; j < lhts; ++j) {
+            EpochLht lht;
+            lht.thread = r.u32();
+            lht.positive = r.vecU64();
+            lht.negative = r.vecU64();
+            rec.slh.push_back(std::move(lht));
+        }
+        records_.push_back(std::move(rec));
+    }
+}
+
 } // namespace asd

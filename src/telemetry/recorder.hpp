@@ -21,6 +21,7 @@
 #include "core/asd_prefetcher.hpp"
 #include "dram/dram.hpp"
 #include "mc/memory_controller.hpp"
+#include "snapshot/snapshot.hpp"
 #include "telemetry/telemetry_config.hpp"
 
 namespace asd
@@ -84,7 +85,7 @@ struct EpochRecord
 };
 
 /** The recorder; one per System, driven by the epoch-end hook. */
-class TelemetryRecorder
+class TelemetryRecorder : public Snapshottable
 {
   public:
     /**
@@ -97,6 +98,18 @@ class TelemetryRecorder
 
     /** Epoch boundary at @p now: append one EpochRecord. */
     void onEpochEnd(Cycle now);
+
+    /**
+     * Re-anchor the delta baseline at @p now. The System calls this
+     * when the prefetcher is armed after a warm-up phase so epoch 1's
+     * deltas exclude warm-up activity — with or without a snapshot in
+     * between, both paths rebaseline at the same boundary cycle and
+     * record identical epochs.
+     */
+    void rebaseline(Cycle now);
+
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
 
     const std::vector<EpochRecord> &records() const
     {

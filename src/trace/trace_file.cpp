@@ -228,6 +228,32 @@ FileTraceSource::next(MemAccess &out)
 }
 
 void
+FileTraceSource::saveState(SnapshotWriter &w) const
+{
+    const std::size_t produced =
+        mode_ == TraceReadMode::Eager
+            ? pos_
+            : consumed_ - (accesses_.size() - pos_);
+    w.u64(produced);
+}
+
+void
+FileTraceSource::loadState(SnapshotReader &r)
+{
+    const std::uint64_t produced = r.u64();
+    SnapshotReader::check(produced <= total_,
+                          "trace file cursor out of range");
+    reset();
+    MemAccess skipped;
+    for (std::uint64_t i = 0; i < produced; ++i) {
+        if (!next(skipped))
+            SnapshotReader::check(false,
+                                  "trace file ended while restoring "
+                                  "the cursor");
+    }
+}
+
+void
 FileTraceSource::reset()
 {
     pos_ = 0;

@@ -64,6 +64,14 @@ class FileTraceSource : public TraceSource
     bool next(MemAccess &out) override;
     void reset() override;
 
+    /**
+     * Checkpointing: the state is the logical cursor (records already
+     * produced). loadState() rewinds and re-skips, which works in
+     * both read modes without storing buffered data.
+     */
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
+
     /** Total records in the trace (both modes). */
     std::size_t size() const { return total_; }
 

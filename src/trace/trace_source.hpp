@@ -11,13 +11,18 @@
 #include <utility>
 #include <vector>
 
+#include "snapshot/snapshot.hpp"
 #include "trace/mem_access.hpp"
 
 namespace asd
 {
 
-/** Pull-based trace producer. */
-class TraceSource
+/**
+ * Pull-based trace producer. Every source is Snapshottable: the
+ * checkpoint subsystem must capture the exact trace cursor so a
+ * restored run resumes mid-trace instead of replaying it.
+ */
+class TraceSource : public Snapshottable
 {
   public:
     virtual ~TraceSource() = default;
@@ -51,6 +56,21 @@ class VectorTraceSource : public TraceSource
     }
 
     void reset() override { pos_ = 0; }
+
+    void
+    saveState(SnapshotWriter &w) const override
+    {
+        w.u64(pos_);
+    }
+
+    void
+    loadState(SnapshotReader &r) override
+    {
+        const std::uint64_t pos = r.u64();
+        SnapshotReader::check(pos <= accesses_.size(),
+                              "VectorTraceSource cursor out of range");
+        pos_ = static_cast<std::size_t>(pos);
+    }
 
   private:
     std::vector<MemAccess> accesses_;

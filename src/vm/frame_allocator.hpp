@@ -14,6 +14,7 @@
 
 #include "common/random.hpp"
 #include "common/stats.hpp"
+#include "snapshot/snapshot.hpp"
 #include "vm/vm_config.hpp"
 
 namespace asd
@@ -25,7 +26,7 @@ namespace asd
  * a dedicated xoshiro PRNG seeded by VmConfig::seed), so runs remain
  * reproducible.
  */
-class FrameAllocator
+class FrameAllocator : public Snapshottable
 {
   public:
     explicit FrameAllocator(const VmConfig &config);
@@ -45,6 +46,9 @@ class FrameAllocator
 
     void registerStats(StatRegistry &registry,
                        const std::string &prefix) const;
+
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
 
   private:
     std::uint64_t nextFreeFrame();

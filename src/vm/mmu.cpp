@@ -40,4 +40,20 @@ Mmu::registerStats(StatRegistry &registry,
     registry.add(prefix + ".walk_cycles", walk_cycles_);
 }
 
+void
+Mmu::saveState(SnapshotWriter &w) const
+{
+    table_.saveState(w);
+    tlb_.saveState(w);
+    w.u64(walk_cycles_.value());
+}
+
+void
+Mmu::loadState(SnapshotReader &r)
+{
+    table_.loadState(r);
+    tlb_.loadState(r);
+    walk_cycles_.restore(r.u64());
+}
+
 } // namespace asd

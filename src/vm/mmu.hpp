@@ -22,7 +22,7 @@ namespace asd
 {
 
 /** Memory-management unit for one hardware thread. */
-class Mmu
+class Mmu : public Snapshottable
 {
   public:
     /** @param allocator shared frame pool; must outlive the Mmu. */
@@ -44,6 +44,9 @@ class Mmu
 
     void registerStats(StatRegistry &registry,
                        const std::string &prefix) const;
+
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
 
   private:
     VmConfig config_;

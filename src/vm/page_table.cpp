@@ -1,5 +1,9 @@
 #include "vm/page_table.hpp"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 namespace asd
 {
 
@@ -25,6 +29,38 @@ PageTable::registerStats(StatRegistry &registry,
                          const std::string &prefix) const
 {
     registry.add(prefix + ".pages_mapped", pages_mapped_);
+}
+
+void
+PageTable::saveState(SnapshotWriter &w) const
+{
+    // Sorted key order: the map is only ever point-queried during
+    // simulation, so iteration order is irrelevant to behavior, but
+    // sorting makes save -> load -> save byte-identical.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> sorted(
+        map_.begin(), map_.end());
+    std::sort(sorted.begin(), sorted.end());
+    w.u64(sorted.size());
+    for (const auto &[vpn, pfn] : sorted) {
+        w.u64(vpn);
+        w.u64(pfn);
+    }
+    w.u64(pages_mapped_.value());
+}
+
+void
+PageTable::loadState(SnapshotReader &r)
+{
+    const std::uint64_t count = r.u64();
+    map_.clear();
+    map_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const std::uint64_t vpn = r.u64();
+        const std::uint64_t pfn = r.u64();
+        SnapshotReader::check(map_.emplace(vpn, pfn).second,
+                              "duplicate page-table entry");
+    }
+    pages_mapped_.restore(r.u64());
 }
 
 } // namespace asd

@@ -13,13 +13,14 @@
 #include <unordered_map>
 
 #include "common/stats.hpp"
+#include "snapshot/snapshot.hpp"
 #include "vm/frame_allocator.hpp"
 
 namespace asd
 {
 
 /** Lazily populated single-level mapping for one address space. */
-class PageTable
+class PageTable : public Snapshottable
 {
   public:
     /** @param allocator shared frame pool; must outlive the table. */
@@ -37,6 +38,9 @@ class PageTable
 
     void registerStats(StatRegistry &registry,
                        const std::string &prefix) const;
+
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
 
   private:
     FrameAllocator &allocator_;

@@ -96,4 +96,37 @@ Tlb::registerStats(StatRegistry &registry,
     registry.add(prefix + ".evictions", evictions_);
 }
 
+void
+Tlb::saveState(SnapshotWriter &w) const
+{
+    w.u64(entries_.size());
+    for (const Entry &entry : entries_) {
+        w.u64(entry.vpn);
+        w.u64(entry.pfn);
+        w.u64(entry.lru);
+        w.b(entry.valid);
+    }
+    w.u64(clock_);
+    w.u64(hits_.value());
+    w.u64(misses_.value());
+    w.u64(evictions_.value());
+}
+
+void
+Tlb::loadState(SnapshotReader &r)
+{
+    SnapshotReader::check(r.u64() == entries_.size(),
+                          "TLB geometry mismatch");
+    for (Entry &entry : entries_) {
+        entry.vpn = r.u64();
+        entry.pfn = r.u64();
+        entry.lru = r.u64();
+        entry.valid = r.b();
+    }
+    clock_ = r.u64();
+    hits_.restore(r.u64());
+    misses_.restore(r.u64());
+    evictions_.restore(r.u64());
+}
+
 } // namespace asd

@@ -16,13 +16,14 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "snapshot/snapshot.hpp"
 #include "vm/vm_config.hpp"
 
 namespace asd
 {
 
 /** Tag store for translations; data payload is the frame number. */
-class Tlb
+class Tlb : public Snapshottable
 {
   public:
     explicit Tlb(const TlbConfig &config);
@@ -50,6 +51,9 @@ class Tlb
 
     void registerStats(StatRegistry &registry,
                        const std::string &prefix) const;
+
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
 
   private:
     struct Entry

@@ -67,6 +67,10 @@ class FakePrefetcher : public MemSidePrefetcher
 
     void tick(Cycle) override { ++ticks; }
 
+    // Test double; never checkpointed.
+    void saveState(SnapshotWriter &) const override {}
+    void loadState(SnapshotReader &) override {}
+
     std::vector<LineAddr> next_candidates;
     std::vector<LineAddr> reads;
     std::vector<LineAddr> writes;

@@ -113,6 +113,9 @@ class PolicyPrefetcher : public MemSidePrefetcher
     int schedulingPolicy() const override { return policy_; }
     void notifyPrefetchConflict(Cycle) override {}
     void tick(Cycle) override {}
+    // Test double; never checkpointed.
+    void saveState(SnapshotWriter &) const override {}
+    void loadState(SnapshotReader &) override {}
 
   private:
     int policy_;

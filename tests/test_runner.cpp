@@ -21,7 +21,9 @@
 #include "runner/result_sink.hpp"
 #include "runner/sweep_runner.hpp"
 #include "runner/thread_pool.hpp"
+#include "runner/warm_start.hpp"
 #include "sim/serialize.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace
 {
@@ -321,6 +323,234 @@ TEST(Json, WriterAndChecker)
     EXPECT_FALSE(jsonParseCheck("{} trailing"));
     EXPECT_FALSE(jsonParseCheck("[1,]"));
     EXPECT_FALSE(jsonParseCheck("nan"));
+}
+
+// --- warm-start reuse ----------------------------------------------
+
+/** A small grid whose jobs share warm-ups across MS knobs. */
+std::vector<JobSpec>
+warmStartGridJobs(Cycle warmup)
+{
+    std::vector<JobSpec> jobs;
+    const std::vector<Benchmark> benches = detailedStudyBenchmarks();
+    for (std::size_t b = 0; b < 2; ++b) {
+        for (const PrefetchMode mode :
+             {PrefetchMode::MS, PrefetchMode::PMS}) {
+            for (const std::uint32_t lines : {8u, 32u}) {
+                RunOptions options;
+                options.mode = mode;
+                options.buffer_lines = lines;
+                options.accesses = kShortTrace;
+                options.warmup_cycles = warmup;
+                jobs.push_back(makeJob(benches[b], options));
+            }
+        }
+    }
+    return jobs;
+}
+
+TEST(WarmStart, KeyIgnoresMemorySideKnobsOnly)
+{
+    std::vector<JobSpec> jobs = warmStartGridJobs(3000);
+    // Same benchmark, same PS presence, different Prefetch Buffer
+    // size: one warm-up.
+    EXPECT_EQ(warmupKey(jobs[0]), warmupKey(jobs[1]));
+    // PMS has a processor side, MS does not: different warm-ups.
+    EXPECT_NE(warmupKey(jobs[0]), warmupKey(jobs[2]));
+    // Different benchmark: different warm-up.
+    EXPECT_NE(warmupKey(jobs[0]), warmupKey(jobs[8]));
+    // Different warm-up length: different warm-up.
+    JobSpec longer = jobs[0];
+    longer.options.warmup_cycles = 4000;
+    EXPECT_NE(warmupKey(jobs[0]), warmupKey(longer));
+
+    EXPECT_TRUE(warmStartEligible(jobs[0]));
+    JobSpec cold = jobs[0];
+    cold.options.warmup_cycles = 0;
+    EXPECT_FALSE(warmStartEligible(cold));
+    JobSpec custom = jobs[0];
+    custom.body = [](const JobSpec &) { return RunMetrics{}; };
+    EXPECT_FALSE(warmStartEligible(custom));
+}
+
+TEST(WarmStart, SweepMatchesColdStartBitForBit)
+{
+    const std::vector<JobSpec> jobs = warmStartGridJobs(3000);
+
+    SweepOptions cold_options;
+    cold_options.threads = 2;
+    const std::vector<JobResult> cold =
+        SweepRunner(cold_options).run(jobs);
+
+    SweepOptions warm_options;
+    warm_options.threads = 2;
+    warm_options.warm_start = true;
+    SweepRunner warm_runner(warm_options);
+    const std::vector<JobResult> warm = warm_runner.run(jobs);
+
+    ASSERT_EQ(cold.size(), warm.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(cold[i].status, JobStatus::Ok) << jobs[i].id;
+        EXPECT_EQ(warm[i].status, JobStatus::Ok) << jobs[i].id;
+        EXPECT_TRUE(cold[i].metrics == warm[i].metrics)
+            << jobs[i].id;
+    }
+    EXPECT_EQ(warm_runner.lastSummary().warm_started, jobs.size());
+}
+
+TEST(WarmStart, CacheComputesEachKeyOnce)
+{
+    WarmupCache cache;
+    std::atomic<int> made{0};
+    const auto make = [&made] {
+        ++made;
+        SnapshotWriter writer;
+        writer.beginSection("x");
+        writer.u64(1);
+        writer.endSection();
+        return writer.finish(fnv1a64("k1"));
+    };
+    const auto a = cache.obtain("k1", make);
+    const auto b = cache.obtain("k1", make);
+    EXPECT_EQ(made.load(), 1);
+    EXPECT_EQ(a.get(), b.get());
+}
+
+TEST(WarmStart, DiskCachePersistsAndRejectsDamage)
+{
+    const std::filesystem::path dir = "results/test_warm_cache";
+    std::filesystem::remove_all(dir);
+
+    std::atomic<int> made{0};
+    const auto make = [&made] {
+        ++made;
+        SnapshotWriter writer;
+        writer.beginSection("x");
+        writer.u64(1);
+        writer.endSection();
+        return writer.finish(fnv1a64("k1"));
+    };
+    {
+        WarmupCache cache(dir.string());
+        cache.obtain("k1", make);
+    }
+    EXPECT_EQ(made.load(), 1);
+    // A second cache (fresh memory) must hit the disk file instead.
+    {
+        WarmupCache cache(dir.string());
+        cache.obtain("k1", make);
+    }
+    EXPECT_EQ(made.load(), 1);
+
+    // Corrupt every cached file: the cache must fall back to a
+    // fresh warm-up rather than serve damaged state.
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir)) {
+        std::fstream file(entry.path(), std::ios::in | std::ios::out |
+                                            std::ios::binary);
+        file.seekp(-1, std::ios::end);
+        file.put('\x7f');
+    }
+    {
+        WarmupCache cache(dir.string());
+        cache.obtain("k1", make);
+    }
+    EXPECT_EQ(made.load(), 2);
+}
+
+TEST(WarmStart, SweepWithDiskCacheMatchesColdStart)
+{
+    const std::filesystem::path dir = "results/test_warm_sweep_cache";
+    std::filesystem::remove_all(dir);
+    const std::vector<JobSpec> jobs = warmStartGridJobs(3000);
+
+    const std::vector<JobResult> cold = SweepRunner().run(jobs);
+
+    SweepOptions warm_options;
+    warm_options.warm_start = true;
+    warm_options.snapshot_dir = dir.string();
+    // Two runs: the first populates the disk cache, the second
+    // restores from it. Both must equal the cold sweep.
+    for (int round = 0; round < 2; ++round) {
+        const std::vector<JobResult> warm =
+            SweepRunner(warm_options).run(jobs);
+        ASSERT_EQ(cold.size(), warm.size());
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            EXPECT_EQ(warm[i].status, JobStatus::Ok) << jobs[i].id;
+            EXPECT_TRUE(cold[i].metrics == warm[i].metrics)
+                << jobs[i].id << " round " << round;
+        }
+    }
+    // The grid shares warm-ups: fewer snapshot files than jobs.
+    std::size_t files = 0;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir)) {
+        (void)entry;
+        ++files;
+    }
+    EXPECT_GT(files, 0u);
+    EXPECT_LT(files, jobs.size());
+}
+
+// --- resume ---------------------------------------------------------
+
+TEST(Resume, AdoptsOnlyValidOkRecords)
+{
+    const std::filesystem::path dir = "results/test_resume";
+    std::filesystem::remove_all(dir);
+    std::vector<JobSpec> jobs = fourWaySweepJobs();
+    jobs.resize(4);
+
+    {
+        JsonDirSink sink(dir.string());
+        SweepOptions options;
+        options.sink = &sink;
+        SweepRunner(options).run(jobs);
+    }
+
+    // Damage the records: delete one, corrupt one, fail one.
+    const auto record = [&](const JobSpec &job) {
+        return dir / (sanitizeFileStem(job.id) + ".json");
+    };
+    std::filesystem::remove(record(jobs[1]));
+    {
+        std::ofstream out(record(jobs[2]));
+        out << "{\"truncated\"";
+    }
+    {
+        std::string failed = readFile(record(jobs[3]));
+        const std::size_t at = failed.find("\"status\":\"ok\"");
+        ASSERT_NE(at, std::string::npos);
+        failed.replace(at, 14, "\"status\":\"failed\"");
+        std::ofstream out(record(jobs[3]));
+        out << failed;
+    }
+
+    JsonDirSink sink(dir.string());
+    EXPECT_TRUE(sink.adoptExisting(jobs[0]));
+    EXPECT_FALSE(sink.adoptExisting(jobs[1]));
+    EXPECT_FALSE(sink.adoptExisting(jobs[2]));
+    EXPECT_FALSE(sink.adoptExisting(jobs[3]));
+    EXPECT_EQ(sink.skipped(), 1u);
+
+    // A record written under the right stem but for a different job
+    // id must not be adopted.
+    JobSpec imposter = jobs[0];
+    imposter.id = jobs[0].id + "X";
+    std::filesystem::copy_file(
+        record(jobs[0]), record(imposter),
+        std::filesystem::copy_options::overwrite_existing);
+    EXPECT_FALSE(sink.adoptExisting(imposter));
+
+    // Finishing after adoption keeps the record in the manifest and
+    // reports the skip count.
+    SweepSummary summary;
+    summary.jobs = 0;
+    sink.finish(summary);
+    const std::string manifest = readFile(dir / "manifest.json");
+    EXPECT_TRUE(jsonParseCheck(manifest));
+    EXPECT_NE(manifest.find("\"skipped\":1"), std::string::npos);
+    EXPECT_NE(manifest.find(jobs[0].id), std::string::npos);
 }
 
 TEST(BenchScale, RejectsGarbageAndKeepsValidValues)

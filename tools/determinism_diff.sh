@@ -5,14 +5,22 @@
 # (unseeded randomness, unordered-container iteration order, ...).
 #
 # Usage:
-#   tools/determinism_diff.sh <path-to-asdsim_cli> [asdsim_cli args...]
+#   tools/determinism_diff.sh <path-to-asdsim_cli> \
+#       [--split-at CYCLE] [asdsim_cli args...]
+#
+# With --split-at CYCLE the second run is checkpointed: it saves a
+# snapshot at CYCLE, then restores and finishes from it — so the diff
+# proves restore-then-run is byte-identical to an uninterrupted run.
+# (Split mode records telemetry, so the configuration needs the ASD
+# memory-side prefetcher, as the default one has.)
 #
 # Without extra args a short default configuration is used. Exits 0
 # when both runs are byte-identical, 1 otherwise.
 set -euo pipefail
 
 if [ $# -lt 1 ]; then
-    echo "usage: $0 <path-to-asdsim_cli> [asdsim_cli args...]" >&2
+    echo "usage: $0 <path-to-asdsim_cli> [--split-at CYCLE]" \
+         "[asdsim_cli args...]" >&2
     exit 2
 fi
 CLI=$1
@@ -20,6 +28,16 @@ shift
 if [ ! -x "$CLI" ]; then
     echo "determinism_diff: not an executable: $CLI" >&2
     exit 2
+fi
+
+SPLIT=""
+if [ "${1:-}" = "--split-at" ]; then
+    if [ $# -lt 2 ]; then
+        echo "determinism_diff: --split-at needs a cycle" >&2
+        exit 2
+    fi
+    SPLIT=$2
+    shift 2
 fi
 
 ARGS=("$@")
@@ -32,12 +50,26 @@ fi
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 
-for i in 1 2; do
+"$CLI" "${ARGS[@]}" --csv \
+    --json "$TMP/stats1.json" \
+    --telemetry-csv "$TMP/telemetry1.csv" \
+    > "$TMP/stdout1.txt"
+
+if [ -n "$SPLIT" ]; then
+    # Save at the split point, then restore and finish: the second
+    # run's outputs come entirely from the checkpointed machine.
+    "$CLI" "${ARGS[@]}" --telemetry \
+        --save-snapshot "$TMP/split.asdsnap@$SPLIT" 2> /dev/null
+    "$CLI" --load-snapshot "$TMP/split.asdsnap" --csv \
+        --json "$TMP/stats2.json" \
+        --telemetry-csv "$TMP/telemetry2.csv" \
+        > "$TMP/stdout2.txt" 2> /dev/null
+else
     "$CLI" "${ARGS[@]}" --csv \
-        --json "$TMP/stats$i.json" \
-        --telemetry-csv "$TMP/telemetry$i.csv" \
-        > "$TMP/stdout$i.txt"
-done
+        --json "$TMP/stats2.json" \
+        --telemetry-csv "$TMP/telemetry2.csv" \
+        > "$TMP/stdout2.txt"
+fi
 
 status=0
 for artifact in stats.json telemetry.csv stdout.txt; do
@@ -51,7 +83,13 @@ for artifact in stats.json telemetry.csv stdout.txt; do
 done
 
 if [ $status -eq 0 ]; then
-    echo "determinism_diff: OK (${ARGS[*]}) — stats JSON," \
-         "telemetry CSV, and stdout byte-identical across two runs"
+    if [ -n "$SPLIT" ]; then
+        echo "determinism_diff: OK (${ARGS[*]}) — run split at cycle" \
+             "$SPLIT via snapshot save/restore is byte-identical to" \
+             "an uninterrupted run"
+    else
+        echo "determinism_diff: OK (${ARGS[*]}) — stats JSON," \
+             "telemetry CSV, and stdout byte-identical across two runs"
+    fi
 fi
 exit $status
