@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Bake-off arena benchmark. Times every memory-side contender from
+ * the PrefetcherRegistry through a small three-workload bake-off
+ * (solo: one contender plus its NP baseline), recording wall-clock
+ * and the warm-start hit rate, then runs the combined bake-off of all
+ * contenders and reports the ranked leaderboard. The solo and
+ * combined runs must agree on every score — warm-start sharing and
+ * grid composition cannot change the physics.
+ *
+ * Writes a JSON report (schema asd/bench/bakeoff/v1) to the path
+ * given as argv[1], default ./BENCH_bakeoff.json — run it from the
+ * repo root to refresh the checked-in copy.
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arena/bakeoff.hpp"
+#include "arena/registry.hpp"
+#include "common/json.hpp"
+#include "common/log.hpp"
+#include "sim/experiment.hpp"
+
+namespace
+{
+
+using namespace asd;
+
+double
+elapsedMs(const std::chrono::steady_clock::time_point &start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** One contender's solo bake-off timing. */
+struct SoloTiming
+{
+    std::string prefetcher;
+    double wall_ms = 0.0;
+    std::size_t jobs = 0;
+    std::size_t warm_started = 0;
+    PrefetcherScore score;
+};
+
+BakeoffOptions
+baseOptions()
+{
+    BakeoffOptions options;
+    // A fixed cross-suite trio keeps the bench minutes-scale while
+    // still exercising SPEC-fp, NAS, and commercial behaviour.
+    options.suites = {};
+    options.benchmarks = {"bwaves", "mg", "tpcc"};
+    // Scale the warm-up with the trace so downscaled smoke runs (via
+    // ASD_BENCH_SCALE) keep the armed/disarmed proportions.
+    options.warmup_cycles = static_cast<Cycle>(
+        std::llround(20000.0 * benchScale()));
+    return options;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace asd;
+
+    const std::string out_path =
+        argc > 1 ? argv[1] : "BENCH_bakeoff.json";
+    const std::vector<std::string> contenders =
+        PrefetcherRegistry::instance().names(PrefetcherSide::MemSide);
+
+    // --- Solo bake-offs: per-prefetcher wall-clock ------------------
+    std::vector<SoloTiming> solos;
+    for (const std::string &name : contenders) {
+        BakeoffOptions options = baseOptions();
+        options.prefetchers = {name};
+        const auto start = std::chrono::steady_clock::now();
+        const BakeoffResult result = BakeoffRunner(options).run();
+        SoloTiming t;
+        t.prefetcher = name;
+        t.wall_ms = elapsedMs(start);
+        t.jobs = result.summary.jobs;
+        t.warm_started = result.summary.warm_started;
+        if (result.summary.failed + result.summary.timed_out > 0)
+            fatal("solo bake-off of " + name + " had failed jobs");
+        if (result.scores.size() != 1)
+            fatal("solo bake-off of " + name +
+                  " produced an unexpected leaderboard");
+        t.score = result.scores.front();
+        solos.push_back(t);
+    }
+
+    // --- Combined bake-off: the full leaderboard --------------------
+    BakeoffOptions combined_options = baseOptions();
+    combined_options.prefetchers = contenders;
+    const auto combined_start = std::chrono::steady_clock::now();
+    const BakeoffResult combined =
+        BakeoffRunner(combined_options).run();
+    const double combined_ms = elapsedMs(combined_start);
+    if (combined.summary.failed + combined.summary.timed_out > 0)
+        fatal("combined bake-off had failed jobs");
+
+    // Solo and combined runs simulate the same machines; every score
+    // must agree exactly or warm-start sharing is leaking state.
+    std::map<std::string, const PrefetcherScore *> by_name;
+    for (const PrefetcherScore &s : combined.scores)
+        by_name[s.name] = &s;
+    for (const SoloTiming &t : solos) {
+        const auto it = by_name.find(t.prefetcher);
+        if (it == by_name.end())
+            fatal(t.prefetcher + " missing from combined leaderboard");
+        const PrefetcherScore &c = *it->second;
+        if (c.speedup_milli_pct != t.score.speedup_milli_pct ||
+            c.accuracy_milli_pct != t.score.accuracy_milli_pct ||
+            c.cycles_total != t.score.cycles_total)
+            fatal(t.prefetcher +
+                  " scored differently solo vs combined");
+    }
+
+    // --- Report -----------------------------------------------------
+    JsonWriter writer;
+    writer.beginObject();
+    writer.key("schema").value("asd/bench/bakeoff/v1");
+    writer.key("bench_scale").value(benchScale());
+    writer.key("workloads").beginArray();
+    for (const BakeoffWorkload &w : combined.workloads)
+        writer.value(w.label);
+    writer.endArray();
+    writer.key("contenders").beginArray();
+    for (const SoloTiming &t : solos) {
+        writer.beginObject();
+        writer.key("prefetcher").value(t.prefetcher);
+        writer.key("jobs").value(
+            static_cast<std::uint64_t>(t.jobs));
+        writer.key("warm_started")
+            .value(static_cast<std::uint64_t>(t.warm_started));
+        writer.key("warm_start_hit_rate")
+            .value(t.jobs > 0 ? static_cast<double>(t.warm_started) /
+                                    static_cast<double>(t.jobs)
+                              : 0.0);
+        writer.key("wall_ms").value(t.wall_ms);
+        writer.key("speedup_milli_pct")
+            .value(t.score.speedup_milli_pct);
+        writer.key("accuracy_milli_pct")
+            .value(t.score.accuracy_milli_pct);
+        writer.endObject();
+    }
+    writer.endArray();
+    writer.key("combined").beginObject();
+    writer.key("jobs").value(
+        static_cast<std::uint64_t>(combined.summary.jobs));
+    writer.key("warm_started")
+        .value(static_cast<std::uint64_t>(
+            combined.summary.warm_started));
+    writer.key("threads")
+        .value(static_cast<std::uint64_t>(combined.summary.threads));
+    writer.key("wall_ms").value(combined_ms);
+    writer.key("leaderboard").beginArray();
+    for (const PrefetcherScore &s : combined.scores) {
+        writer.beginObject();
+        writer.key("rank").value(s.rank);
+        writer.key("prefetcher").value(s.name);
+        writer.key("speedup_milli_pct").value(s.speedup_milli_pct);
+        writer.endObject();
+    }
+    writer.endArray();
+    writer.endObject();
+    writer.endObject();
+
+    std::ofstream out(out_path);
+    if (!out)
+        fatal("cannot write " + out_path);
+    out << writer.str() << "\n";
+
+    std::cout << "perf_bakeoff: " << solos.size()
+              << " contenders timed solo; combined bake-off ranked "
+              << combined.scores.size() << " over "
+              << combined.workloads.size() << " workloads ("
+              << combined.summary.warm_started << "/"
+              << combined.summary.jobs << " warm-started) -> "
+              << out_path << "\n";
+    return 0;
+}

@@ -13,12 +13,14 @@
  *   asdsim_cli --bench milc --scheduler frfcfs --policy 3 --buffer 32
  */
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "arena/registry.hpp"
 #include "common/log.hpp"
 #include "common/table.hpp"
 #include "sim/experiment.hpp"
@@ -40,6 +42,7 @@ struct CliArgs
     bool csv = false;
     bool smt = false;
     bool list = false;
+    bool list_prefetchers = false;
     std::string json_path; //!< RunMetrics JSON path (empty = off)
     std::string telemetry_csv;   //!< per-epoch CSV path (empty = off)
     std::string telemetry_json;  //!< JSON time-series path
@@ -55,10 +58,13 @@ usage()
     std::cout <<
         "usage: asdsim_cli [options]\n"
         "  --list                 list benchmarks and exit\n"
+        "  --list-prefetchers     list the prefetcher registry and "
+        "exit\n"
         "  --bench NAME           benchmark to run (default GemsFDTD)\n"
         "  --mode NP|PS|MS|PMS    prefetch configuration (default PMS)\n"
         "  --ps power5|asd        processor-side prefetcher kind\n"
-        "  --mc-prefetcher asd|nextline|p5|ghb|stride\n"
+        "  --mc-prefetcher asd|nextline|p5|ghb|stride|dspatch|"
+        "perceptron\n"
         "                         memory-side prefetcher kind\n"
         "  --scheduler ahb|memoryless|inorder|frfcfs\n"
         "  --policy N             pin the LPQ policy (1..5)\n"
@@ -144,6 +150,8 @@ parseArgs(int argc, char **argv)
             usage();
         } else if (tok == "--list") {
             args.list = true;
+        } else if (tok == "--list-prefetchers") {
+            args.list_prefetchers = true;
         } else if (tok == "--bench") {
             args.bench = next();
         } else if (tok == "--mode") {
@@ -156,16 +164,10 @@ parseArgs(int argc, char **argv)
                 fatal("unknown --ps kind: " + v);
         } else if (tok == "--mc-prefetcher") {
             const std::string v = next();
-            if (v == "nextline")
-                args.options.mc_prefetcher = McPrefetcherKind::NextLine;
-            else if (v == "p5")
-                args.options.mc_prefetcher = McPrefetcherKind::P5Style;
-            else if (v == "ghb")
-                args.options.mc_prefetcher = McPrefetcherKind::Ghb;
-            else if (v == "stride")
-                args.options.mc_prefetcher = McPrefetcherKind::Stride;
-            else if (v != "asd")
+            const auto kind = parseMcPrefetcherKind(v);
+            if (!kind)
                 fatal("unknown --mc-prefetcher kind: " + v);
+            args.options.mc_prefetcher = *kind;
         } else if (tok == "--scheduler") {
             args.options.scheduler = parseScheduler(next());
         } else if (tok == "--policy") {
@@ -363,6 +365,18 @@ main(int argc, char **argv)
     const CliArgs args = parseArgs(argc, argv);
     if (args.list) {
         listBenchmarks();
+        return 0;
+    }
+    if (args.list_prefetchers) {
+        // The registry is the single source of truth for what can be
+        // fielded; anything listed here works as --mc-prefetcher
+        // (mem-side) or --ps (cpu-side, without the "ps-" prefix).
+        for (const PrefetcherInfo &info :
+             PrefetcherRegistry::instance().all()) {
+            std::printf("%-12s %-9s %s\n", info.name.c_str(),
+                        toString(info.side).c_str(),
+                        info.description.c_str());
+        }
         return 0;
     }
 

@@ -1,0 +1,131 @@
+#include "arena/scoring.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace asd
+{
+
+namespace
+{
+
+/** Accumulator for one prefetcher's cells. */
+struct Tally
+{
+    std::string name;
+    std::uint32_t ok = 0;
+    std::uint32_t failed = 0;
+    std::int64_t speedup_milli_sum = 0;
+    std::int64_t accuracy_milli_sum = 0;
+    std::int64_t coverage_milli_sum = 0;
+    std::int64_t delayed_milli_sum = 0;
+    std::uint64_t prefetches_issued = 0;
+    std::uint64_t demand_reads = 0;
+    std::uint64_t cycles_total = 0;
+};
+
+/**
+ * A percentage from RunMetrics (deterministic but double) fixed to
+ * milli-percent for exact accumulation and comparison.
+ */
+std::int64_t
+milliPct(double pct)
+{
+    return std::llround(pct * 1000.0);
+}
+
+} // namespace
+
+std::int64_t
+speedupMilliPct(Cycle baseline, Cycle cycles)
+{
+    if (baseline == 0 || cycles == 0)
+        return 0;
+    const auto b = static_cast<std::int64_t>(baseline);
+    const auto c = static_cast<std::int64_t>(cycles);
+    return b * 100000 / c - 100000;
+}
+
+std::vector<PrefetcherScore>
+scoreBakeoff(const std::vector<BakeoffCell> &cells)
+{
+    // Tally in first-appearance order so the pre-sort order (and
+    // with it, stable-sort behaviour) is input-determined.
+    std::vector<Tally> tallies;
+    for (const BakeoffCell &cell : cells) {
+        Tally *tally = nullptr;
+        for (Tally &t : tallies) {
+            if (t.name == cell.prefetcher) {
+                tally = &t;
+                break;
+            }
+        }
+        if (!tally) {
+            tallies.emplace_back();
+            tallies.back().name = cell.prefetcher;
+            tally = &tallies.back();
+        }
+        if (cell.status != JobStatus::Ok) {
+            ++tally->failed;
+            continue;
+        }
+        ++tally->ok;
+        tally->speedup_milli_sum +=
+            speedupMilliPct(cell.baseline_cycles, cell.metrics.cycles);
+        tally->accuracy_milli_sum +=
+            milliPct(cell.metrics.useful_prefetch_pct);
+        tally->coverage_milli_sum +=
+            milliPct(cell.metrics.coverage_pct);
+        tally->delayed_milli_sum +=
+            milliPct(cell.metrics.delayed_regular_pct);
+        tally->prefetches_issued += cell.metrics.ms_prefetches_issued;
+        tally->demand_reads += cell.metrics.mc_reads;
+        tally->cycles_total += cell.metrics.cycles;
+    }
+
+    std::vector<PrefetcherScore> scores;
+    scores.reserve(tallies.size());
+    for (const Tally &t : tallies) {
+        PrefetcherScore s;
+        s.name = t.name;
+        s.jobs_ok = t.ok;
+        s.jobs_failed = t.failed;
+        if (t.ok > 0) {
+            const auto n = static_cast<std::int64_t>(t.ok);
+            s.speedup_milli_pct = t.speedup_milli_sum / n;
+            s.accuracy_milli_pct = t.accuracy_milli_sum / n;
+            s.coverage_milli_pct = t.coverage_milli_sum / n;
+            s.timeliness_milli_pct =
+                100000 - t.delayed_milli_sum / n;
+            if (t.demand_reads > 0) {
+                s.traffic_overhead_milli_pct =
+                    static_cast<std::int64_t>(t.prefetches_issued) *
+                    100000 /
+                    static_cast<std::int64_t>(t.demand_reads);
+            }
+        }
+        s.cycles_total = t.cycles_total;
+        scores.push_back(s);
+    }
+
+    std::sort(scores.begin(), scores.end(),
+              [](const PrefetcherScore &a, const PrefetcherScore &b) {
+                  if (a.speedup_milli_pct != b.speedup_milli_pct)
+                      return a.speedup_milli_pct > b.speedup_milli_pct;
+                  if (a.accuracy_milli_pct != b.accuracy_milli_pct)
+                      return a.accuracy_milli_pct >
+                             b.accuracy_milli_pct;
+                  if (a.traffic_overhead_milli_pct !=
+                      b.traffic_overhead_milli_pct)
+                      return a.traffic_overhead_milli_pct <
+                             b.traffic_overhead_milli_pct;
+                  return a.name < b.name;
+              });
+    for (std::size_t i = 0; i < scores.size(); ++i)
+        scores[i].rank = static_cast<std::uint32_t>(i + 1);
+    return scores;
+}
+
+} // namespace asd

@@ -1,0 +1,99 @@
+#ifndef ASD_ARENA_SCORING_HPP
+#define ASD_ARENA_SCORING_HPP
+
+/**
+ * @file
+ * Scoring and ranking for prefetcher bake-offs. One BakeoffCell per
+ * (prefetcher, workload) pair carries the run's metrics plus the
+ * workload's no-prefetching baseline cycles; scoreBakeoff()
+ * aggregates the cells into one row per prefetcher and ranks the
+ * rows. Every ranking key is integer milli-percent derived from
+ * deterministic simulation output, so equal machines produce equal
+ * scores and ties break by name — the leaderboard is byte-stable
+ * across runs and thread counts.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runner/job.hpp"
+
+namespace asd
+{
+
+/** One (prefetcher, workload) result in a bake-off. */
+struct BakeoffCell
+{
+    /** Registry name of the contender. */
+    std::string prefetcher;
+
+    /** Workload label, e.g. "spec/bwaves" or "spec/bwaves+vm". */
+    std::string workload;
+
+    JobStatus status = JobStatus::Ok;
+    RunMetrics metrics;
+
+    /** Cycles of the same workload under PrefetchMode::NP. */
+    Cycle baseline_cycles = 0;
+};
+
+/** Aggregated leaderboard row for one prefetcher. */
+struct PrefetcherScore
+{
+    std::string name;
+
+    /** 1-based leaderboard position. */
+    std::uint32_t rank = 0;
+
+    std::uint32_t jobs_ok = 0;
+    std::uint32_t jobs_failed = 0;
+
+    /**
+     * Mean performance gain over the NP baseline across workloads
+     * (the IPC proxy: fewer cycles on the same trace), in
+     * milli-percent. This is the primary ranking key.
+     */
+    std::int64_t speedup_milli_pct = 0;
+
+    /** Mean useful-prefetch (accuracy) percentage, milli-percent. */
+    std::int64_t accuracy_milli_pct = 0;
+
+    /** Mean prefetch-buffer coverage, milli-percent. */
+    std::int64_t coverage_milli_pct = 0;
+
+    /**
+     * Timeliness: 100% minus the mean share of regular commands
+     * delayed by prefetch traffic, milli-percent.
+     */
+    std::int64_t timeliness_milli_pct = 0;
+
+    /**
+     * DRAM traffic overhead: memory-side prefetches issued per
+     * demand read, summed over all workloads, milli-percent.
+     */
+    std::int64_t traffic_overhead_milli_pct = 0;
+
+    /** Total simulated cycles across ok workloads. */
+    std::uint64_t cycles_total = 0;
+};
+
+/**
+ * Mean perfGain of @p cycles over @p baseline in milli-percent
+ * ((baseline/cycles - 1) * 100000, integer floor). 0 when either
+ * input is 0.
+ */
+std::int64_t speedupMilliPct(Cycle baseline, Cycle cycles);
+
+/**
+ * Aggregate @p cells into one scored row per prefetcher, ranked.
+ * Order: speedup desc, accuracy desc, traffic overhead asc, name
+ * asc; rank is 1-based in that order. Failed cells count in
+ * jobs_failed and are excluded from every mean.
+ */
+std::vector<PrefetcherScore>
+scoreBakeoff(const std::vector<BakeoffCell> &cells);
+
+} // namespace asd
+
+#endif // ASD_ARENA_SCORING_HPP

@@ -35,6 +35,10 @@ toString(McPrefetcherKind kind)
         return "ghb";
     case McPrefetcherKind::Stride:
         return "stride";
+    case McPrefetcherKind::Dspatch:
+        return "dspatch";
+    case McPrefetcherKind::Perceptron:
+        return "perceptron";
     }
     panic("unhandled McPrefetcherKind");
 }
@@ -124,6 +128,10 @@ parseMcPrefetcherKind(const std::string &text)
         return McPrefetcherKind::Ghb;
     if (text == "stride")
         return McPrefetcherKind::Stride;
+    if (text == "dspatch")
+        return McPrefetcherKind::Dspatch;
+    if (text == "perceptron")
+        return McPrefetcherKind::Perceptron;
     return std::nullopt;
 }
 
@@ -218,6 +226,89 @@ toJson(const RunMetrics &metrics)
     JsonWriter writer;
     writeJson(writer, metrics);
     return writer.str();
+}
+
+namespace
+{
+
+/** Read a required double member; false on absence or kind error. */
+bool
+readDouble(const JsonValue &object, std::string_view name,
+           double &out)
+{
+    const JsonValue *member = object.find(name);
+    if (!member)
+        return false;
+    const auto value = member->asDouble();
+    if (!value)
+        return false;
+    out = *value;
+    return true;
+}
+
+/** Read a required u64 member; false on absence or kind error. */
+bool
+readU64(const JsonValue &object, std::string_view name,
+        std::uint64_t &out)
+{
+    const JsonValue *member = object.find(name);
+    if (!member)
+        return false;
+    const auto value = member->asU64();
+    if (!value)
+        return false;
+    out = *value;
+    return true;
+}
+
+} // namespace
+
+std::optional<RunMetrics>
+metricsFromJson(const JsonValue &value)
+{
+    if (value.kind() != JsonValue::Kind::Object)
+        return std::nullopt;
+    RunMetrics m;
+    if (!readU64(value, "cycles", m.cycles) ||
+        !readU64(value, "accesses", m.accesses) ||
+        !readDouble(value, "dram_watts", m.dram_watts) ||
+        !readDouble(value, "dram_energy_mj", m.dram_energy_mj))
+        return std::nullopt;
+    const JsonValue *power = value.find("power_pj");
+    if (!power || power->kind() != JsonValue::Kind::Object)
+        return std::nullopt;
+    if (!readDouble(*power, "background", m.power.background_pj) ||
+        !readDouble(*power, "activate", m.power.activate_pj) ||
+        !readDouble(*power, "read", m.power.read_pj) ||
+        !readDouble(*power, "write", m.power.write_pj) ||
+        !readDouble(*power, "refresh", m.power.refresh_pj))
+        return std::nullopt;
+    if (!readDouble(value, "useful_prefetch_pct",
+                    m.useful_prefetch_pct) ||
+        !readDouble(value, "coverage_pct", m.coverage_pct) ||
+        !readDouble(value, "delayed_regular_pct",
+                    m.delayed_regular_pct) ||
+        !readU64(value, "mc_reads", m.mc_reads) ||
+        !readU64(value, "mc_writes", m.mc_writes) ||
+        !readU64(value, "ms_prefetches_issued",
+                 m.ms_prefetches_issued) ||
+        !readU64(value, "buffer_hits", m.buffer_hits) ||
+        !readU64(value, "lpq_drops", m.lpq_drops))
+        return std::nullopt;
+    const JsonValue *vm = value.find("vm");
+    if (!vm || vm->kind() != JsonValue::Kind::Object)
+        return std::nullopt;
+    const JsonValue *enabled = vm->find("enabled");
+    if (!enabled || !enabled->asBool())
+        return std::nullopt;
+    m.vm_enabled = *enabled->asBool();
+    if (!readU64(*vm, "tlb_hits", m.tlb_hits) ||
+        !readU64(*vm, "tlb_misses", m.tlb_misses) ||
+        !readU64(*vm, "tlb_evictions", m.tlb_evictions) ||
+        !readU64(*vm, "page_walk_cycles", m.page_walk_cycles) ||
+        !readU64(*vm, "pages_mapped", m.pages_mapped))
+        return std::nullopt;
+    return m;
 }
 
 } // namespace asd

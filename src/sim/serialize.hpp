@@ -43,6 +43,15 @@ std::string toJson(const RunOptions &options);
 /** @return @p metrics as a standalone JSON document. */
 std::string toJson(const RunMetrics &metrics);
 
+/**
+ * Inverse of writeJson(RunMetrics): rebuild metrics from a parsed
+ * JSON object (e.g. the "metrics" member of a sweep result record).
+ * @return nullopt when @p value is not an object or any field is
+ * missing or of the wrong type — a round-trip must be exact, so
+ * partial records are rejected rather than zero-filled.
+ */
+std::optional<RunMetrics> metricsFromJson(const JsonValue &value);
+
 } // namespace asd
 
 #endif // ASD_SIM_SERIALIZE_HPP

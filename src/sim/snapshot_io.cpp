@@ -57,7 +57,7 @@ loadRunOptions(SnapshotReader &r)
     options.mode =
         readEnum(r, PrefetchMode::PMS, "prefetch mode out of range");
     options.mc_prefetcher =
-        readEnum(r, McPrefetcherKind::Stride,
+        readEnum(r, McPrefetcherKind::Perceptron,
                  "memory-side prefetcher kind out of range");
     options.ps_kind =
         readEnum(r, PsKind::Asd,

@@ -86,6 +86,18 @@ System::System(const SystemConfig &config,
             mc_.attachPrefetcher(baseline_.get());
             buffer_ = &baseline_->buffer();
             break;
+          case McPrefetcherKind::Dspatch:
+            baseline_ = std::make_unique<DspatchMcPrefetcher>(
+                asd_config, config_.dspatch);
+            mc_.attachPrefetcher(baseline_.get());
+            buffer_ = &baseline_->buffer();
+            break;
+          case McPrefetcherKind::Perceptron:
+            baseline_ = std::make_unique<PerceptronMcPrefetcher>(
+                asd_config, config_.perceptron);
+            mc_.attachPrefetcher(baseline_.get());
+            buffer_ = &baseline_->buffer();
+            break;
         }
     }
 

@@ -16,7 +16,9 @@
 #include "dram/dram_config.hpp"
 #include "mc/memory_controller.hpp"
 #include "prefetch/asd_ps_prefetcher.hpp"
+#include "prefetch/dspatch_prefetcher.hpp"
 #include "prefetch/ghb_prefetcher.hpp"
+#include "prefetch/perceptron_prefetcher.hpp"
 #include "prefetch/stride_prefetcher.hpp"
 #include "prefetch/ps_prefetcher.hpp"
 #include "telemetry/telemetry_config.hpp"
@@ -49,6 +51,8 @@ enum class McPrefetcherKind : std::uint8_t
     P5Style,  //!< no ASD + P5-style streams + adaptive scheduling
     Ghb,      //!< Global History Buffer (G/AC), related work [18]
     Stride,   //!< Baer-Chen-style stride detector, related work [2]
+    Dspatch,  //!< DSPatch-style dual spatial bit-patterns (MICRO'19)
+    Perceptron, //!< perceptron-filtered stream prefetching
 };
 
 /** Everything needed to build a System. */
@@ -85,6 +89,8 @@ struct SystemConfig
     AsdPsConfig asd_ps;
     GhbConfig ghb;
     StrideConfig stride;
+    DspatchConfig dspatch;
+    PerceptronConfig perceptron;
 
     /** Simulated CPU frequency (power reporting). */
     double cpu_hz = 2.132e9;

@@ -7,6 +7,8 @@
 # Usage:
 #   tools/determinism_diff.sh <path-to-asdsim_cli> \
 #       [--split-at CYCLE] [asdsim_cli args...]
+#   tools/determinism_diff.sh --bakeoff <path-to-asdbakeoff> \
+#       [asdbakeoff args...]
 #
 # With --split-at CYCLE the second run is checkpointed: it saves a
 # snapshot at CYCLE, then restores and finishes from it — so the diff
@@ -14,15 +16,61 @@
 # (Split mode records telemetry, so the configuration needs the ASD
 # memory-side prefetcher, as the default one has.)
 #
+# With --bakeoff the target is the asdbakeoff driver instead: the same
+# grid runs once on 1 thread and once on 4, and the ranked report
+# files (bakeoff.json, leaderboard.md) must compare byte-identical —
+# the arena's parallelism-independence audit.
+#
 # Without extra args a short default configuration is used. Exits 0
 # when both runs are byte-identical, 1 otherwise.
 set -euo pipefail
 
 if [ $# -lt 1 ]; then
-    echo "usage: $0 <path-to-asdsim_cli> [--split-at CYCLE]" \
-         "[asdsim_cli args...]" >&2
+    echo "usage: $0 [--bakeoff] <path-to-cli> [--split-at CYCLE]" \
+         "[cli args...]" >&2
     exit 2
 fi
+
+if [ "$1" = "--bakeoff" ]; then
+    shift
+    if [ $# -lt 1 ]; then
+        echo "determinism_diff: --bakeoff needs the asdbakeoff" \
+             "path" >&2
+        exit 2
+    fi
+    CLI=$1
+    shift
+    if [ ! -x "$CLI" ]; then
+        echo "determinism_diff: not an executable: $CLI" >&2
+        exit 2
+    fi
+    ARGS=("$@")
+    if [ ${#ARGS[@]} -eq 0 ]; then
+        ARGS=(--suites none --bench bwaves --bench tpcc
+              --prefetchers asd,stride --accesses 2000
+              --warm-start 1000 --quiet)
+    fi
+    TMP=$(mktemp -d)
+    trap 'rm -rf "$TMP"' EXIT
+    "$CLI" "${ARGS[@]}" --threads 1 --out "$TMP/run1"
+    "$CLI" "${ARGS[@]}" --threads 4 --out "$TMP/run2"
+    status=0
+    for artifact in bakeoff.json leaderboard.md; do
+        if ! cmp -s "$TMP/run1/$artifact" "$TMP/run2/$artifact"; then
+            echo "determinism_diff: $artifact differs between -j1" \
+                 "and -j4 bake-offs:" >&2
+            diff "$TMP/run1/$artifact" "$TMP/run2/$artifact" >&2 \
+                || true
+            status=1
+        fi
+    done
+    if [ $status -eq 0 ]; then
+        echo "determinism_diff: OK (${ARGS[*]}) — bake-off report" \
+             "byte-identical on 1 and 4 threads"
+    fi
+    exit $status
+fi
+
 CLI=$1
 shift
 if [ ! -x "$CLI" ]; then
