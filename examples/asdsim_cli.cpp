@@ -29,6 +29,7 @@
 #include "sim/system.hpp"
 #include "telemetry/sinks.hpp"
 #include "trace/synthetic.hpp"
+#include "tuner/tuned_run.hpp"
 
 namespace
 {
@@ -50,6 +51,8 @@ struct CliArgs
     std::string save_path;       //!< --save-snapshot target (empty = off)
     Cycle save_cycle = 0;        //!< cycle at which to save
     std::string load_path;       //!< --load-snapshot source (empty = off)
+    std::string tuner_csv;       //!< per-decision CSV path (empty = off)
+    std::string tuner_json;      //!< per-decision JSON path
 };
 
 [[noreturn]] void
@@ -96,6 +99,27 @@ usage()
         "  --telemetry-no-slh     omit per-thread SLH snapshots\n"
         "  --warmup N             run N cycles before arming the\n"
         "                         memory-side prefetcher\n"
+        "  --tune                 enable the phase-adaptive tuner\n"
+        "                         (requires MS/PMS with --mc-prefetcher\n"
+        "                         asd; incompatible with --smt)\n"
+        "  --tune-horizon N       shadow simulation length in cycles\n"
+        "                         (default 60000)\n"
+        "  --tune-min-epochs N    epochs between decisions (default 2)\n"
+        "  --tune-max-decisions N cap decisions per run (0 = all)\n"
+        "  --tune-threads N       shadow worker threads (default 1;\n"
+        "                         0 = hardware default)\n"
+        "  --tune-window N        phase detector window, epochs\n"
+        "                         (default 3)\n"
+        "  --tune-threshold N     phase change threshold, milli-pct\n"
+        "                         (default 40000)\n"
+        "  --tune-degrees LIST    comma-separated degree axis\n"
+        "  --tune-slots LIST      comma-separated filter-slot axis\n"
+        "  --tune-buffers LIST    comma-separated buffer-line axis\n"
+        "  --tune-epochs LIST     comma-separated epoch-length axis\n"
+        "  --tune-policies LIST   comma-separated policy axis\n"
+        "                         (0 = adaptive walk, 1..5 = pinned)\n"
+        "  --tuner-csv PATH       write the per-decision CSV log\n"
+        "  --tuner-json PATH      write the per-decision JSON log\n"
         "  --save-snapshot PATH@CYCLE\n"
         "                         run to CYCLE, write a checkpoint to\n"
         "                         PATH, and exit (no report)\n"
@@ -132,6 +156,30 @@ parseScheduler(const std::string &text)
     if (text == "frfcfs")
         return SchedulerKind::FrFcfs;
     fatal("unknown scheduler: " + text);
+}
+
+/** Parse "1,2,4" into {1,2,4}; fatal on anything non-numeric. */
+std::vector<std::uint32_t>
+parseU32List(const std::string &flag, const std::string &text)
+{
+    std::vector<std::uint32_t> out;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        std::size_t comma = text.find(',', pos);
+        if (comma == std::string::npos)
+            comma = text.size();
+        const std::string item = text.substr(pos, comma - pos);
+        if (item.empty() ||
+            item.find_first_not_of("0123456789") != std::string::npos)
+            fatal(flag + " expects a comma-separated integer list, "
+                  "got: " + text);
+        out.push_back(static_cast<std::uint32_t>(
+            std::atoll(item.c_str())));
+        pos = comma + 1;
+    }
+    if (out.empty())
+        fatal(flag + " expects at least one value");
+    return out;
 }
 
 CliArgs
@@ -241,6 +289,45 @@ parseArgs(int argc, char **argv)
                 static_cast<std::size_t>(std::atoll(next().c_str()));
         } else if (tok == "--telemetry-no-slh") {
             args.options.telemetry.capture_slh = false;
+        } else if (tok == "--tune") {
+            args.options.tuner.enabled = true;
+        } else if (tok == "--tune-horizon") {
+            args.options.tuner.shadow_horizon =
+                static_cast<Cycle>(std::atoll(next().c_str()));
+        } else if (tok == "--tune-min-epochs") {
+            args.options.tuner.min_epochs_between =
+                static_cast<std::uint32_t>(std::atoi(next().c_str()));
+        } else if (tok == "--tune-max-decisions") {
+            args.options.tuner.max_decisions =
+                static_cast<std::uint32_t>(std::atoi(next().c_str()));
+        } else if (tok == "--tune-threads") {
+            args.options.tuner.shadow_threads =
+                static_cast<std::uint32_t>(std::atoi(next().c_str()));
+        } else if (tok == "--tune-window") {
+            args.options.tuner.phase_window =
+                static_cast<std::uint32_t>(std::atoi(next().c_str()));
+        } else if (tok == "--tune-threshold") {
+            args.options.tuner.phase_threshold_milli_pct =
+                static_cast<std::uint32_t>(std::atoi(next().c_str()));
+        } else if (tok == "--tune-degrees") {
+            args.options.tuner.space.degrees =
+                parseU32List(tok, next());
+        } else if (tok == "--tune-slots") {
+            args.options.tuner.space.filter_slots =
+                parseU32List(tok, next());
+        } else if (tok == "--tune-buffers") {
+            args.options.tuner.space.buffer_lines =
+                parseU32List(tok, next());
+        } else if (tok == "--tune-epochs") {
+            args.options.tuner.space.epoch_reads =
+                parseU32List(tok, next());
+        } else if (tok == "--tune-policies") {
+            args.options.tuner.space.policies =
+                parseU32List(tok, next());
+        } else if (tok == "--tuner-csv") {
+            args.tuner_csv = next();
+        } else if (tok == "--tuner-json") {
+            args.tuner_json = next();
         } else if (tok == "--warmup") {
             args.options.warmup_cycles =
                 static_cast<Cycle>(std::atoll(next().c_str()));
@@ -286,31 +373,42 @@ int
 saveSnapshotRun(const CliArgs &args)
 {
     const Benchmark &bench = findBenchmark(args.bench);
-    SyntheticConfig trace_config = bench.trace;
-    trace_config.total_accesses = scaledAccesses(bench, args.options);
-    SyntheticTraceGenerator trace(trace_config);
-    System system(makeSystemConfig(args.options), {&trace});
-    system.runUntil(args.save_cycle);
+    const std::uint64_t accesses =
+        scaledAccesses(bench, args.options);
 
     SnapshotWriter writer;
     writer.beginSection("cli");
     writer.str(bench.name);
-    writer.u64(trace_config.total_accesses);
+    writer.u64(accesses);
     saveRunOptions(writer, args.options);
     writer.endSection();
-    system.saveSnapshot(writer);
+
+    Cycle saved_at = 0;
+    if (args.options.tuner.enabled) {
+        // Tuned runs checkpoint through TunedRun so the controller
+        // state ("tun" section) rides along with the machine's.
+        TunedRun run(bench, args.options, accesses);
+        run.runUntil(args.save_cycle);
+        run.saveSnapshot(writer);
+        saved_at = run.system().nowCycle();
+    } else {
+        SyntheticConfig trace_config = bench.trace;
+        trace_config.total_accesses = accesses;
+        SyntheticTraceGenerator trace(trace_config);
+        System system(makeSystemConfig(args.options), {&trace});
+        system.runUntil(args.save_cycle);
+        system.saveSnapshot(writer);
+        saved_at = system.nowCycle();
+    }
     try {
-        writeSnapshotFile(
-            args.save_path,
-            writer.finish(runConfigHash(bench.name,
-                                        trace_config.total_accesses,
-                                        args.options)));
+        writeSnapshotFile(args.save_path,
+                          writer.finish(runConfigHash(
+                              bench.name, accesses, args.options)));
     } catch (const SnapshotError &e) {
         fatal(std::string("snapshot save failed: ") + e.what());
     }
     std::cerr << "asdsim_cli: saved " << bench.name << " at cycle "
-              << system.nowCycle() << " to " << args.save_path
-              << "\n";
+              << saved_at << " to " << args.save_path << "\n";
     return 0;
 }
 
@@ -321,7 +419,9 @@ saveSnapshotRun(const CliArgs &args)
  */
 RunMetrics
 loadSnapshotRun(const CliArgs &args, std::string &bench_name,
-                std::vector<EpochRecord> &epochs, bool &telemetry_on)
+                std::vector<EpochRecord> &epochs, bool &telemetry_on,
+                std::vector<TunerDecision> &decisions,
+                bool &tuner_on)
 {
     try {
         SnapshotReader reader(readSnapshotFile(args.load_path));
@@ -338,8 +438,23 @@ loadSnapshotRun(const CliArgs &args, std::string &bench_name,
                   "taken without telemetry");
         }
         telemetry_on = options.telemetry.enabled;
+        tuner_on = options.tuner.enabled;
 
         const Benchmark &bench = findBenchmark(bench_name);
+        if (options.tuner.enabled) {
+            TunedRun run(bench, options, accesses);
+            run.loadSnapshot(reader);
+            std::cerr << "asdsim_cli: restored " << bench_name
+                      << " at cycle " << run.system().nowCycle()
+                      << " from " << args.load_path << "\n";
+            run.runUntil(kNoCycle);
+            const TunedRunResult res = run.result();
+            if (telemetry_on)
+                epochs = res.epochs;
+            decisions = res.decisions;
+            return res.metrics;
+        }
+
         SyntheticConfig trace_config = bench.trace;
         trace_config.total_accesses = accesses;
         SyntheticTraceGenerator trace(trace_config);
@@ -384,6 +499,8 @@ main(int argc, char **argv)
         args.smt) {
         fatal("--smt cannot be combined with snapshot save/load");
     }
+    if (args.options.tuner.enabled && args.smt)
+        fatal("--tune cannot be combined with --smt");
     if (!args.save_path.empty() && !args.load_path.empty())
         fatal("--save-snapshot and --load-snapshot are mutually "
               "exclusive");
@@ -392,15 +509,36 @@ main(int argc, char **argv)
 
     std::string bench_name = args.bench;
     std::vector<EpochRecord> epochs;
+    std::vector<TunerDecision> decisions;
     bool telemetry_on = args.options.telemetry.enabled;
+    bool tuner_on = args.options.tuner.enabled;
     RunMetrics m;
     if (!args.load_path.empty()) {
-        m = loadSnapshotRun(args, bench_name, epochs, telemetry_on);
+        m = loadSnapshotRun(args, bench_name, epochs, telemetry_on,
+                            decisions, tuner_on);
+    } else if (args.options.tuner.enabled) {
+        const Benchmark &bench = findBenchmark(args.bench);
+        TunedRun run(bench, args.options);
+        const TunedRunResult res = run.run();
+        m = res.metrics;
+        if (telemetry_on)
+            epochs = res.epochs;
+        decisions = res.decisions;
     } else {
         const Benchmark &bench = findBenchmark(args.bench);
         m = args.smt
                 ? runSmtPair(bench, bench, args.options, &epochs)
                 : runBenchmark(bench, args.options, &epochs);
+    }
+
+    if (tuner_on) {
+        if (!args.tuner_csv.empty())
+            saveTunerCsv(decisions, args.tuner_csv);
+        if (!args.tuner_json.empty())
+            saveTunerJson(decisions, args.tuner_json);
+    } else if (!args.tuner_csv.empty() || !args.tuner_json.empty()) {
+        fatal("--tuner-csv/--tuner-json need --tune (or a snapshot "
+              "taken with it)");
     }
 
     if (telemetry_on) {

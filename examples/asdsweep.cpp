@@ -33,6 +33,7 @@
 #include "runner/thread_pool.hpp"
 #include "sim/serialize.hpp"
 #include "telemetry/sinks.hpp"
+#include "tuner/tuned_run.hpp"
 
 namespace
 {
@@ -70,6 +71,10 @@ struct CliConfig
     bool csv = false;
     bool quiet = false;
     bool telemetry = false;
+
+    /** Tuner axis: also field a phase-adaptive variant of every
+        eligible (ASD, MS/PMS) grid point. */
+    bool tune = false;
 };
 
 void
@@ -118,6 +123,10 @@ usage()
            "  --csv               also write <out>/sweep.csv\n"
            "  --telemetry         per-epoch telemetry per job under\n"
            "                      <out>/telemetry/ (ASD jobs only)\n"
+           "  --tune              also run a phase-adaptive tuner "
+           "variant of\n"
+           "                      every ASD MS/PMS grid point "
+           "(job id +.tune)\n"
            "  --quiet             no progress line\n";
 }
 
@@ -252,6 +261,8 @@ parseArgs(int argc, char **argv)
             cli.csv = true;
         } else if (arg == "--telemetry") {
             cli.telemetry = true;
+        } else if (arg == "--tune") {
+            cli.tune = true;
         } else if (arg == "--quiet") {
             cli.quiet = true;
         } else {
@@ -334,6 +345,32 @@ attachTelemetryBody(JobSpec &job, const std::string &out_dir)
     };
 }
 
+/**
+ * Give @p job a body that routes through TunedRun (runBenchmark
+ * ignores options.tuner) and, when telemetry was also requested,
+ * writes the tuned run's epochs the same way attachTelemetryBody
+ * does for fixed-config jobs.
+ */
+void
+attachTunerBody(JobSpec &job, const std::string &out_dir)
+{
+    const bool telemetry = job.options.telemetry.enabled;
+    const std::string stem = out_dir + "/telemetry/" + job.id;
+    job.body = [stem, telemetry](const JobSpec &spec) {
+        Benchmark bench = spec.bench;
+        if (spec.seed)
+            bench.trace.seed = *spec.seed;
+        TunedRun run(bench, spec.options);
+        const TunedRunResult result = run.run();
+        if (telemetry) {
+            saveTelemetryCsv(result.epochs, stem + ".csv");
+            saveTelemetryChromeTrace(result.epochs,
+                                     stem + ".trace.json");
+        }
+        return result.metrics;
+    };
+}
+
 std::vector<JobSpec>
 buildJobs(const CliConfig &cli)
 {
@@ -387,6 +424,25 @@ buildJobs(const CliConfig &cli)
                                         attachTelemetryBody(
                                             job, cli.out_dir);
                                     jobs.push_back(std::move(job));
+                                    // Tuner axis: a second, tuned
+                                    // job per eligible grid point
+                                    // (the tuner requires ASD on the
+                                    // memory side).
+                                    if (cli.tune &&
+                                        kind ==
+                                            McPrefetcherKind::Asd &&
+                                        (mode == PrefetchMode::MS ||
+                                         mode ==
+                                             PrefetchMode::PMS)) {
+                                        RunOptions tuned = options;
+                                        tuned.tuner.enabled = true;
+                                        JobSpec tuned_job = makeJob(
+                                            bench, tuned, cli.seed);
+                                        attachTunerBody(tuned_job,
+                                                        cli.out_dir);
+                                        jobs.push_back(
+                                            std::move(tuned_job));
+                                    }
                                 }
                             }
                         }

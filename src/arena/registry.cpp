@@ -74,6 +74,25 @@ PrefetcherRegistry::PrefetcherRegistry()
         McPrefetcherKind::Perceptron,
         "perceptron-filtered stream prefetching"));
 
+    // Variant contenders: alternate configurations of the kinds
+    // above, fielded under their own registry names.
+    {
+        PrefetcherInfo ghb_dc = memSide(
+            McPrefetcherKind::Ghb,
+            "Global History Buffer, delta-correlating (G/DC)");
+        ghb_dc.name = "ghb-dc";
+        ghb_dc.defaults.ghb_delta_correlate = true;
+        entries_.push_back(std::move(ghb_dc));
+    }
+    {
+        PrefetcherInfo tuned = memSide(
+            McPrefetcherKind::Asd,
+            "ASD under the phase-adaptive shadow tuner");
+        tuned.name = "asd+tuner";
+        tuned.defaults.tuner.enabled = true;
+        entries_.push_back(std::move(tuned));
+    }
+
     // CPU-side contenders.
     entries_.push_back(cpuSide(
         PsKind::Power5,

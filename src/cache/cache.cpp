@@ -1,5 +1,8 @@
 #include "cache/cache.hpp"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/log.hpp"
 
 namespace asd
@@ -124,6 +127,28 @@ SetAssocCache::validLines() const
         if (way.valid)
             ++count;
     return count;
+}
+
+std::vector<SetAssocCache::ResidentLine>
+SetAssocCache::linesByRecency() const
+{
+    std::vector<std::pair<std::uint64_t, ResidentLine>> stamped;
+    for (const Way &way : ways_) {
+        if (way.valid) {
+            stamped.push_back(
+                {way.lru,
+                 ResidentLine{way.line, way.dirty, way.prefetched}});
+        }
+    }
+    std::sort(stamped.begin(), stamped.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    std::vector<ResidentLine> lines;
+    lines.reserve(stamped.size());
+    for (const auto &entry : stamped)
+        lines.push_back(entry.second);
+    return lines;
 }
 
 void

@@ -92,6 +92,22 @@ class SetAssocCache : public Snapshottable
     /** Valid lines right now (O(capacity) scan; checks/telemetry). */
     std::uint64_t validLines() const;
 
+    /** One resident line, as reported by linesByRecency(). */
+    struct ResidentLine
+    {
+        LineAddr line = 0;
+        bool dirty = false;
+        bool prefetched = false;
+    };
+
+    /**
+     * Every resident line, oldest first by global LRU stamp (stamps
+     * are unique, so the order is total). Reconfiguration rebuilds a
+     * resized store by re-inserting these in order, which preserves
+     * the recency ranking across the resize.
+     */
+    std::vector<ResidentLine> linesByRecency() const;
+
     void saveState(SnapshotWriter &w) const override;
     void loadState(SnapshotReader &r) override;
 

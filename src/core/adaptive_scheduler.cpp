@@ -17,6 +17,18 @@ AdaptiveScheduler::AdaptiveScheduler(const AdaptiveSchedConfig &config)
 }
 
 void
+AdaptiveScheduler::applyPolicyConfig(const AdaptiveSchedConfig &config)
+{
+    if (config.fixed_policy < 1 || config.fixed_policy > 5)
+        fatal("AdaptiveScheduler: policy must be in 1..5");
+    if (config.low_watermark > config.high_watermark)
+        fatal("AdaptiveScheduler: low watermark above high watermark");
+    config_ = config;
+    if (!config_.adaptive)
+        policy_ = config_.fixed_policy;
+}
+
+void
 AdaptiveScheduler::notifyConflict()
 {
     ++epoch_conflicts_;

@@ -40,6 +40,16 @@ class AdaptiveScheduler : public Snapshottable
     std::uint32_t epochConflicts() const { return epoch_conflicts_; }
 
     /**
+     * Online reconfiguration: swap in a new policy configuration.
+     * Pinning (adaptive = false) takes effect immediately — the
+     * current policy jumps to fixed_policy. Un-pinning keeps the
+     * current policy as the adaptive walk's starting point
+     * (start_policy is a construction-time notion only). Conflict
+     * feedback for the in-progress epoch is preserved either way.
+     */
+    void applyPolicyConfig(const AdaptiveSchedConfig &config);
+
+    /**
      * Lifetime conflict count. epochEnd() zeroes epochConflicts(), so
      * per-epoch consumers sampling *after* the boundary (the telemetry
      * recorder) take deltas of this instead.

@@ -80,6 +80,67 @@ struct AsdConfig
     AdaptiveSchedConfig sched;
 };
 
+/**
+ * The online-tunable subset of AsdConfig — what the phase-adaptive
+ * tuner may change on a live prefetcher via
+ * AsdPrefetcher::applyTuning(). Everything else (LHT depth, lifetime
+ * constants, thread count) is a table *shape* the trained state is
+ * keyed on and stays fixed for the life of the machine.
+ */
+struct AsdTuning
+{
+    std::uint32_t max_degree = 1;
+    std::uint32_t epoch_reads = 2000;
+    std::uint32_t filter_slots = 8;
+    std::uint32_t buffer_lines = 16;
+    AdaptiveSchedConfig sched;
+
+    bool
+    operator==(const AsdTuning &other) const
+    {
+        return max_degree == other.max_degree &&
+               epoch_reads == other.epoch_reads &&
+               filter_slots == other.filter_slots &&
+               buffer_lines == other.buffer_lines &&
+               sched.adaptive == other.sched.adaptive &&
+               sched.fixed_policy == other.sched.fixed_policy &&
+               sched.start_policy == other.sched.start_policy &&
+               sched.high_watermark == other.sched.high_watermark &&
+               sched.low_watermark == other.sched.low_watermark;
+    }
+    bool
+    operator!=(const AsdTuning &other) const
+    {
+        return !(*this == other);
+    }
+};
+
+/** The tuning currently encoded in a full AsdConfig. */
+inline AsdTuning
+tuningOf(const AsdConfig &config)
+{
+    AsdTuning t;
+    t.max_degree = config.max_degree;
+    t.epoch_reads = config.epoch_reads;
+    t.filter_slots = config.filter_slots;
+    t.buffer_lines = config.buffer_lines;
+    t.sched = config.sched;
+    return t;
+}
+
+/** @p base with tuning @p t folded in (shadow-fork construction). */
+inline AsdConfig
+withTuning(const AsdConfig &base, const AsdTuning &t)
+{
+    AsdConfig config = base;
+    config.max_degree = t.max_degree;
+    config.epoch_reads = t.epoch_reads;
+    config.filter_slots = t.filter_slots;
+    config.buffer_lines = t.buffer_lines;
+    config.sched = t.sched;
+    return config;
+}
+
 } // namespace asd
 
 #endif // ASD_CORE_ASD_CONFIG_HPP

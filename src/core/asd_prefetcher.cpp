@@ -221,6 +221,28 @@ AsdPrefetcher::tick(Cycle now)
 }
 
 void
+AsdPrefetcher::applyTuning(const AsdTuning &tuning)
+{
+    config_.max_degree = tuning.max_degree;
+    config_.epoch_reads = tuning.epoch_reads;
+    if (tuning.filter_slots != config_.filter_slots) {
+        for (auto &thread : threads_) {
+            for (const DeadStream &dead :
+                 thread->filter.resize(tuning.filter_slots)) {
+                streamDied(*thread, dead);
+            }
+        }
+        config_.filter_slots = tuning.filter_slots;
+    }
+    if (tuning.buffer_lines != config_.buffer_lines) {
+        buffer_.resize(tuning.buffer_lines, config_.buffer_ways);
+        config_.buffer_lines = tuning.buffer_lines;
+    }
+    sched_.applyPolicyConfig(tuning.sched);
+    config_.sched = tuning.sched;
+}
+
+void
 AsdPrefetcher::enableSlhHistory(std::size_t max_epochs)
 {
     slh_history_cap_ = max_epochs;

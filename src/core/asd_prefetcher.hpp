@@ -122,6 +122,27 @@ class AsdPrefetcher : public MemSidePrefetcher
 
     const AsdConfig &config() const { return config_; }
 
+    // Online reconfiguration -----------------------------------------
+
+    /**
+     * Apply a new tuning to the live prefetcher, preserving trained
+     * state wherever the shape allows:
+     *  - max_degree / epoch_reads change in place (an epoch already
+     *    longer than the new length ends on the next read);
+     *  - the Stream Filter resizes per thread, folding any streams a
+     *    shrink drops into the SLH as dead streams;
+     *  - the Prefetch Buffer rebuilds at the new capacity keeping
+     *    resident lines by recency (a shrink evicts the oldest);
+     *  - the scheduler swaps policy configuration, keeping the
+     *    current policy as the walk position unless newly pinned.
+     * LHT depth, lifetimes, ways and thread count are NOT tunable —
+     * the likelihood tables and stream histogram are keyed on them.
+     */
+    void applyTuning(const AsdTuning &tuning);
+
+    /** The tuning currently in force. */
+    AsdTuning currentTuning() const { return tuningOf(config_); }
+
   private:
     struct ThreadState
     {

@@ -79,6 +79,25 @@ PrefetchBuffer::registerStats(StatRegistry &registry,
     registry.add(prefix + ".write_invalidations", write_invalidations_);
 }
 
+void
+PrefetchBuffer::resize(std::uint32_t lines, std::uint32_t ways)
+{
+    const std::vector<SetAssocCache::ResidentLine> resident =
+        cache_.linesByRecency();
+    SetAssocCache rebuilt(bufferGeometry(lines, ways));
+    for (const SetAssocCache::ResidentLine &entry : resident) {
+        const auto victim =
+            rebuilt.insert(entry.line, entry.dirty, entry.prefetched);
+        if (victim && victim->was_prefetch)
+            evicted_unused_.inc();
+    }
+    cache_ = std::move(rebuilt);
+    if (checksEnabled()) {
+        checkThat(occupancy() <= capacityLines(),
+                  "Prefetch Buffer occupancy above capacity");
+    }
+}
+
 std::uint32_t
 PrefetchBuffer::capacityLines() const
 {

@@ -62,6 +62,17 @@ class PrefetchBuffer : public Snapshottable
 
     std::uint32_t capacityLines() const;
 
+    /**
+     * Online reconfiguration: rebuild the tag store with a new
+     * geometry, re-installing the resident lines oldest-first so
+     * their recency ranking survives. Growing preserves every line;
+     * shrinking drops the least recent ones, counted as unused
+     * evictions (they were prefetched and never consumed). The
+     * inserted/consumed counters are untouched — only genuinely new
+     * prefetches count as insertions.
+     */
+    void resize(std::uint32_t lines, std::uint32_t ways);
+
     /** Lines currently buffered (telemetry/invariants). */
     std::uint64_t occupancy() const;
 

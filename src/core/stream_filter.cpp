@@ -176,6 +176,32 @@ StreamFilter::flushAll()
     return dead;
 }
 
+std::vector<DeadStream>
+StreamFilter::resize(std::uint32_t slots)
+{
+    std::vector<DeadStream> dropped;
+    std::vector<Slot> live;
+    for (const Slot &slot : table_)
+        if (slot.valid)
+            live.push_back(slot);
+    // Most remaining lifetime first; stable so equal lifetimes keep
+    // their table order.
+    std::stable_sort(live.begin(), live.end(),
+                     [](const Slot &a, const Slot &b) {
+                         return a.expires_at > b.expires_at;
+                     });
+    if (slots > 0 && live.size() > slots) {
+        for (std::size_t i = slots; i < live.size(); ++i)
+            dropped.push_back({live[i].length, live[i].dir});
+        live.resize(slots);
+    }
+    slots_ = slots;
+    table_ = std::move(live);
+    if (slots_ > 0)
+        table_.resize(slots_);
+    return dropped;
+}
+
 std::size_t
 StreamFilter::liveStreams() const
 {

@@ -98,6 +98,17 @@ class StreamFilter : public Snapshottable
     /** Valid slots right now. */
     std::size_t liveStreams() const;
 
+    /**
+     * Online reconfiguration: change the slot capacity in place.
+     * Growing keeps every live stream and adds vacant slots.
+     * Shrinking keeps the @p slots streams with the most remaining
+     * lifetime (the ones extended most recently; ties broken by slot
+     * index) and retires the rest, returning them so the caller can
+     * fold them into the SLH like any other dead stream. @p slots = 0
+     * switches to unbounded oracle mode (keeps everything).
+     */
+    std::vector<DeadStream> resize(std::uint32_t slots);
+
     std::uint32_t slots() const { return slots_; }
 
     void saveState(SnapshotWriter &w) const override;

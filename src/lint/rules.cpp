@@ -399,7 +399,7 @@ constexpr std::string_view kLayerOrder[] = {
     "common", "lint",  "snapshot", "trace",    "vm",
     "dram",   "cache", "mc",       "core",     "prefetch",
     "telemetry", "cpu", "workloads", "sim",    "runner",
-    "arena",
+    "tuner",  "arena",
 };
 
 int

@@ -11,7 +11,9 @@ GhbMcPrefetcher::GhbMcPrefetcher(const AsdConfig &shared,
       config_(config),
       ghb_(config.ghb_entries),
       index_(config.index_entries, kNoLink),
-      index_tag_(config.index_entries, 0)
+      index_tag_(config.index_entries, 0),
+      index_tag_d1_(config.index_entries, 0),
+      index_tag_d0_(config.index_entries, 0)
 {
     if (config_.ghb_entries == 0 || config_.index_entries == 0)
         fatal("GhbMcPrefetcher: tables must be nonempty");
@@ -25,6 +27,17 @@ GhbMcPrefetcher::indexOf(LineAddr line) const
     // Cheap mix before the modulo so strided lines spread.
     const std::uint64_t hash =
         (line ^ (line >> 13)) * 0x9e3779b97f4a7c15ULL;
+    return static_cast<std::size_t>(hash % index_.size());
+}
+
+std::size_t
+GhbMcPrefetcher::indexOfDeltas(std::int64_t d1, std::int64_t d0) const
+{
+    const std::uint64_t a =
+        static_cast<std::uint64_t>(d1) * 0x9e3779b97f4a7c15ULL;
+    const std::uint64_t b =
+        static_cast<std::uint64_t>(d0) * 0xc2b2ae3d27d4eb4fULL;
+    const std::uint64_t hash = (a ^ b) ^ ((a ^ b) >> 29);
     return static_cast<std::size_t>(hash % index_.size());
 }
 
@@ -44,14 +57,21 @@ GhbMcPrefetcher::historySize() const
     return count;
 }
 
-std::vector<LineAddr>
-GhbMcPrefetcher::observeRead(LineAddr line, std::uint32_t thread,
-                             Cycle now)
+GhbMcPrefetcher::GhbEntry &
+GhbMcPrefetcher::append(LineAddr line, std::int64_t delta,
+                        std::uint64_t prev_seq)
 {
-    (void)thread;
-    (void)now;
-    countReadForEpoch();
+    GhbEntry &slot = ghb_[next_seq_ % ghb_.size()];
+    slot.line = line;
+    slot.delta = delta;
+    slot.prev = prev_seq;
+    slot.valid = true;
+    return slot;
+}
 
+std::vector<LineAddr>
+GhbMcPrefetcher::correlateAddress(LineAddr line)
+{
     std::vector<LineAddr> out;
     const std::size_t idx = indexOf(line);
     const std::uint64_t prev_seq =
@@ -73,15 +93,79 @@ GhbMcPrefetcher::observeRead(LineAddr line, std::uint32_t thread,
         }
     }
 
-    // Append this occurrence and point the index at it.
-    GhbEntry &slot = ghb_[next_seq_ % ghb_.size()];
-    slot.line = line;
-    slot.prev = prev_seq;
-    slot.valid = true;
+    append(line, 0, prev_seq);
     index_[idx] = next_seq_;
     index_tag_[idx] = line;
     ++next_seq_;
     return out;
+}
+
+std::vector<LineAddr>
+GhbMcPrefetcher::correlateDeltas(LineAddr line)
+{
+    std::vector<LineAddr> out;
+    if (!have_last_) {
+        // First read ever: nothing to key on yet.
+        append(line, 0, kNoLink);
+        ++next_seq_;
+        last_line_ = line;
+        have_last_ = true;
+        return out;
+    }
+
+    const std::int64_t delta =
+        static_cast<std::int64_t>(line) -
+        static_cast<std::int64_t>(last_line_);
+
+    std::uint64_t prev_seq = kNoLink;
+    if (have_delta_) {
+        // Key: the (older, newer) delta pair ending at this read.
+        const std::size_t idx = indexOfDeltas(last_delta_, delta);
+        prev_seq = index_tag_d1_[idx] == last_delta_ &&
+                           index_tag_d0_[idx] == delta
+                       ? index_[idx]
+                       : kNoLink;
+
+        // Walk the deltas that followed the pair's last occurrence,
+        // accumulating them from this read's address.
+        if (inWindow(prev_seq)) {
+            LineAddr addr = line;
+            for (std::uint32_t d = 1; d <= config_.degree; ++d) {
+                const std::uint64_t follow = prev_seq + d;
+                if (!inWindow(follow) || follow >= next_seq_)
+                    break;
+                const GhbEntry &entry = ghb_[follow % ghb_.size()];
+                if (!entry.valid || entry.delta == 0)
+                    break;
+                addr = static_cast<LineAddr>(
+                    static_cast<std::int64_t>(addr) + entry.delta);
+                if (addr != line)
+                    out.push_back(addr);
+            }
+        }
+
+        index_[idx] = next_seq_;
+        index_tag_d1_[idx] = last_delta_;
+        index_tag_d0_[idx] = delta;
+    }
+
+    append(line, delta, prev_seq);
+    ++next_seq_;
+    last_line_ = line;
+    last_delta_ = delta;
+    have_delta_ = true;
+    return out;
+}
+
+std::vector<LineAddr>
+GhbMcPrefetcher::observeRead(LineAddr line, std::uint32_t thread,
+                             Cycle now)
+{
+    (void)thread;
+    (void)now;
+    countReadForEpoch();
+    return config_.delta_correlate ? correlateDeltas(line)
+                                   : correlateAddress(line);
 }
 
 void
@@ -91,12 +175,22 @@ GhbMcPrefetcher::saveState(SnapshotWriter &w) const
     w.u64(ghb_.size());
     for (const GhbEntry &entry : ghb_) {
         w.u64(entry.line);
+        w.i64(entry.delta);
         w.u64(entry.prev);
         w.b(entry.valid);
     }
     w.vecU64(index_);
     w.vecU64(index_tag_);
+    w.u64(index_tag_d1_.size());
+    for (const std::int64_t d : index_tag_d1_)
+        w.i64(d);
+    for (const std::int64_t d : index_tag_d0_)
+        w.i64(d);
     w.u64(next_seq_);
+    w.u64(last_line_);
+    w.i64(last_delta_);
+    w.b(have_last_);
+    w.b(have_delta_);
 }
 
 void
@@ -107,6 +201,7 @@ GhbMcPrefetcher::loadState(SnapshotReader &r)
                           "GHB depth mismatch");
     for (GhbEntry &entry : ghb_) {
         entry.line = r.u64();
+        entry.delta = r.i64();
         entry.prev = r.u64();
         entry.valid = r.b();
     }
@@ -118,7 +213,17 @@ GhbMcPrefetcher::loadState(SnapshotReader &r)
     SnapshotReader::check(tags.size() == index_tag_.size(),
                           "GHB index tag size mismatch");
     index_tag_ = tags;
+    SnapshotReader::check(r.u64() == index_tag_d1_.size(),
+                          "GHB delta tag size mismatch");
+    for (std::int64_t &d : index_tag_d1_)
+        d = r.i64();
+    for (std::int64_t &d : index_tag_d0_)
+        d = r.i64();
     next_seq_ = r.u64();
+    last_line_ = r.u64();
+    last_delta_ = r.i64();
+    have_last_ = r.b();
+    have_delta_ = r.b();
 }
 
 } // namespace asd

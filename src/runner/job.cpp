@@ -50,6 +50,10 @@ makeJobId(const Benchmark &bench, const RunOptions &options,
     }
     if (options.ps_oracle)
         id += ".oracle";
+    if (options.ghb_delta_correlate)
+        id += ".dc";
+    if (options.tuner.enabled)
+        id += ".tune";
     if (options.accesses)
         id += ".acc" + std::to_string(*options.accesses);
     if (options.warmup_cycles > 0)

@@ -68,7 +68,9 @@ makeSystemConfig(const RunOptions &options)
         config.asd.sched.adaptive = false;
         config.asd.sched.fixed_policy = *options.fixed_policy;
     }
+    config.ghb.delta_correlate = options.ghb_delta_correlate;
     config.telemetry = options.telemetry;
+    config.tuner = options.tuner;
     config.warmup_cycles = options.warmup_cycles;
     return config;
 }

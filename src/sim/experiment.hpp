@@ -16,6 +16,7 @@
 
 #include "sim/metrics.hpp"
 #include "sim/system_config.hpp"
+#include "sim/tuner_config.hpp"
 #include "telemetry/recorder.hpp"
 #include "workloads/profiles.hpp"
 
@@ -42,6 +43,14 @@ struct RunOptions
     /** Idealized (instant, free) processor-side prefetch fills. */
     bool ps_oracle = false;
 
+    /**
+     * GHB correlation mode: false = the classic address-correlating
+     * G/AC (default, the original contender), true = global delta
+     * correlation (G/DC), which actually fires on streaming
+     * workloads whose addresses never recur at the controller.
+     */
+    bool ghb_delta_correlate = false;
+
     /** Override the benchmark's trace length. */
     std::optional<std::uint64_t> accesses;
 
@@ -59,6 +68,9 @@ struct RunOptions
 
     /** Per-epoch telemetry recorder (off by default). */
     TelemetryConfig telemetry;
+
+    /** Phase-adaptive tuner (off by default => byte-identical). */
+    TunerConfig tuner;
 };
 
 /** The paper's default machine for @p options. */

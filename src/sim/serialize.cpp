@@ -171,6 +171,35 @@ writeJson(JsonWriter &writer, const RunOptions &options)
     writer.key("tlb_ways").value(options.vm.tlb.ways);
     writer.key("walk_cycles").value(options.vm.tlb.walk_cycles);
     writer.endObject();
+    // Emitted only when set so every pre-existing run's options JSON
+    // (and thus its runConfigHash) stays byte-identical.
+    if (options.ghb_delta_correlate)
+        writer.key("ghb_delta_correlate").value(true);
+    if (options.tuner.enabled) {
+        const TunerConfig &t = options.tuner;
+        writer.key("tuner").beginObject();
+        writer.key("shadow_horizon").value(t.shadow_horizon);
+        writer.key("min_epochs_between").value(t.min_epochs_between);
+        writer.key("max_decisions").value(t.max_decisions);
+        writer.key("shadow_threads").value(t.shadow_threads);
+        writer.key("phase_window").value(t.phase_window);
+        writer.key("phase_threshold_milli_pct")
+            .value(t.phase_threshold_milli_pct);
+        const auto axis = [&writer](const char *name,
+                                    const std::vector<std::uint32_t>
+                                        &values) {
+            writer.key(name).beginArray();
+            for (const std::uint32_t v : values)
+                writer.value(v);
+            writer.endArray();
+        };
+        axis("degrees", t.space.degrees);
+        axis("filter_slots", t.space.filter_slots);
+        axis("buffer_lines", t.space.buffer_lines);
+        axis("epoch_reads", t.space.epoch_reads);
+        axis("policies", t.space.policies);
+        writer.endObject();
+    }
     writer.endObject();
 }
 

@@ -17,6 +17,26 @@ readEnum(SnapshotReader &r, Enum max, const char *what)
     return static_cast<Enum>(v);
 }
 
+void
+saveU32Vec(SnapshotWriter &w, const std::vector<std::uint32_t> &v)
+{
+    w.u64(v.size());
+    for (const std::uint32_t x : v)
+        w.u32(x);
+}
+
+std::vector<std::uint32_t>
+loadU32Vec(SnapshotReader &r)
+{
+    const std::uint64_t count = r.u64();
+    SnapshotReader::check(count <= 4096,
+                          "tune-space axis implausibly long");
+    std::vector<std::uint32_t> v(count);
+    for (std::uint32_t &x : v)
+        x = r.u32();
+    return v;
+}
+
 } // namespace
 
 void
@@ -48,6 +68,19 @@ saveRunOptions(SnapshotWriter &w, const RunOptions &options)
     w.b(options.telemetry.enabled);
     w.b(options.telemetry.capture_slh);
     w.u64(options.telemetry.max_epochs);
+    w.b(options.ghb_delta_correlate);
+    w.b(options.tuner.enabled);
+    w.u64(options.tuner.shadow_horizon);
+    w.u32(options.tuner.min_epochs_between);
+    w.u32(options.tuner.max_decisions);
+    w.u32(options.tuner.shadow_threads);
+    w.u32(options.tuner.phase_window);
+    w.u32(options.tuner.phase_threshold_milli_pct);
+    saveU32Vec(w, options.tuner.space.degrees);
+    saveU32Vec(w, options.tuner.space.filter_slots);
+    saveU32Vec(w, options.tuner.space.buffer_lines);
+    saveU32Vec(w, options.tuner.space.epoch_reads);
+    saveU32Vec(w, options.tuner.space.policies);
 }
 
 RunOptions
@@ -93,6 +126,19 @@ loadRunOptions(SnapshotReader &r)
     options.telemetry.capture_slh = r.b();
     options.telemetry.max_epochs =
         static_cast<std::size_t>(r.u64());
+    options.ghb_delta_correlate = r.b();
+    options.tuner.enabled = r.b();
+    options.tuner.shadow_horizon = r.u64();
+    options.tuner.min_epochs_between = r.u32();
+    options.tuner.max_decisions = r.u32();
+    options.tuner.shadow_threads = r.u32();
+    options.tuner.phase_window = r.u32();
+    options.tuner.phase_threshold_milli_pct = r.u32();
+    options.tuner.space.degrees = loadU32Vec(r);
+    options.tuner.space.filter_slots = loadU32Vec(r);
+    options.tuner.space.buffer_lines = loadU32Vec(r);
+    options.tuner.space.epoch_reads = loadU32Vec(r);
+    options.tuner.space.policies = loadU32Vec(r);
     return options;
 }
 

@@ -284,6 +284,28 @@ System::fastForwardable() const
 }
 
 void
+System::setEpochEndHook(std::function<void(Cycle)> hook)
+{
+    epoch_hook_ = std::move(hook);
+    if (!asd_)
+        return;
+    // Re-install the chained prefetcher hook: telemetry first (so the
+    // user hook sees the completed epoch's record), then the user.
+    asd_->setEpochEndHook([this](Cycle now) {
+        if (telemetry_)
+            telemetry_->onEpochEnd(now);
+        if (epoch_hook_)
+            epoch_hook_(now);
+    });
+}
+
+void
+System::setLoopHook(std::function<void(Cycle)> hook)
+{
+    loop_hook_ = std::move(hook);
+}
+
+void
 System::armPrefetcher()
 {
     mc_.setPrefetcherArmed(true);
@@ -301,6 +323,8 @@ System::runUntil(Cycle target)
         // identical loop iteration.
         if (now_ >= target)
             break;
+        if (loop_hook_)
+            loop_hook_(now_);
         if (!mc_.prefetcherArmed() && now_ >= config_.warmup_cycles)
             armPrefetcher();
         if (now_ >= config_.max_cycles)

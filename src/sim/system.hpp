@@ -10,6 +10,7 @@
  */
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -122,6 +123,26 @@ class System : public MemPort
 
     Cycle nowCycle() const { return now_; }
 
+    // Tuner hooks ---------------------------------------------------
+    /**
+     * Install a callback fired at every ASD epoch boundary, AFTER the
+     * telemetry recorder (when present) has appended its record — so
+     * the hook can read the freshly completed epoch via telemetry().
+     * No-op when the MC prefetcher is not ASD (epochs are an ASD
+     * notion). At most one System-level hook; installing replaces.
+     */
+    void setEpochEndHook(std::function<void(Cycle)> hook);
+
+    /**
+     * Install a callback fired once per runUntil loop iteration, after
+     * the target-break check and before the machine ticks. Placing it
+     * after the break means a run split at cycle T and resumed
+     * services a pending callback at the identical iteration an
+     * uninterrupted run would — the tuner's reconfiguration point
+     * depends on this for checkpoint determinism.
+     */
+    void setLoopHook(std::function<void(Cycle)> hook);
+
   private:
     void onReadDone(std::uint64_t id, Cycle done);
     void drainWritebacks();
@@ -144,6 +165,8 @@ class System : public MemPort
 
     std::unique_ptr<AsdPrefetcher> asd_;
     std::unique_ptr<TelemetryRecorder> telemetry_;
+    std::function<void(Cycle)> epoch_hook_; //!< after telemetry
+    std::function<void(Cycle)> loop_hook_;  //!< top of runUntil loop
     std::unique_ptr<BufferedMcPrefetcher> baseline_;
     const PrefetchBuffer *buffer_ = nullptr; //!< whichever is active
 

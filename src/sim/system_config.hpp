@@ -21,6 +21,7 @@
 #include "prefetch/perceptron_prefetcher.hpp"
 #include "prefetch/stride_prefetcher.hpp"
 #include "prefetch/ps_prefetcher.hpp"
+#include "sim/tuner_config.hpp"
 #include "telemetry/telemetry_config.hpp"
 #include "vm/vm_config.hpp"
 
@@ -80,6 +81,15 @@ struct SystemConfig
      * byte-identical to a build without the telemetry layer.
      */
     TelemetryConfig telemetry;
+
+    /**
+     * Phase-adaptive tuner parameters. The System itself never reads
+     * these — the controller lives above the sim layer (src/tuner/)
+     * and drives the machine through its public hooks — but carrying
+     * them here keeps one config object describing the whole tuned
+     * machine (and binds them into snapshot config hashes).
+     */
+    TunerConfig tuner;
 
     HierarchyConfig hierarchy;
     DramConfig dram;

@@ -1,0 +1,81 @@
+#ifndef ASD_SIM_TUNER_CONFIG_HPP
+#define ASD_SIM_TUNER_CONFIG_HPP
+
+/**
+ * @file
+ * Configuration of the phase-adaptive tuner (src/tuner/): the
+ * candidate grid it may draw reconfigurations from, the phase
+ * detector's change-point parameters, and the shadow-simulation
+ * budget. Lives in the sim layer so SystemConfig/RunOptions can embed
+ * it without depending on the tuner subsystem itself; the controller
+ * that interprets it sits above (src/tuner/).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/asd_config.hpp"
+
+namespace asd
+{
+
+/**
+ * The tunable-parameter grid. Candidates are drawn as a coordinate
+ * neighborhood around the current tuning (vary one axis at a time),
+ * not the full cross product, so one decision evaluates roughly
+ * sum-of-axis-lengths shadows instead of their product.
+ */
+struct TuneSpace
+{
+    std::vector<std::uint32_t> degrees = {1, 2, 4};
+    std::vector<std::uint32_t> filter_slots = {4, 8, 16};
+    std::vector<std::uint32_t> buffer_lines = {16, 32};
+    std::vector<std::uint32_t> epoch_reads = {1000, 2000, 4000};
+
+    /** LPQ scheduling axis: 0 = adaptive walk, 1..5 = pinned. */
+    std::vector<std::uint32_t> policies = {0, 1, 3, 5};
+};
+
+/** Phase-adaptive tuner knobs (off by default => byte-identical). */
+struct TunerConfig
+{
+    bool enabled = false;
+
+    /**
+     * Cycles each shadow simulation runs past the decision point.
+     * Also the distance at which the realized (live) delta is
+     * measured against the winner's prediction.
+     */
+    Cycle shadow_horizon = 60000;
+
+    /** Epochs that must complete between consecutive decisions. */
+    std::uint32_t min_epochs_between = 2;
+
+    /** Hard cap on decisions per run; 0 = unlimited. */
+    std::uint32_t max_decisions = 0;
+
+    /**
+     * Worker threads for shadow evaluation; 0 = hardware default.
+     * Scoring is collected per candidate index, so only wall-clock
+     * time — never the adopted sequence — depends on this.
+     */
+    std::uint32_t shadow_threads = 1;
+
+    /** Phase detector: epochs per comparison window. */
+    std::uint32_t phase_window = 3;
+
+    /**
+     * Phase detector: a phase change fires when any feature's mean
+     * over the last phase_window epochs shifts by more than this
+     * relative amount, in milli-percent of the reference window
+     * (40000 = a 40% shift).
+     */
+    std::uint32_t phase_threshold_milli_pct = 40000;
+
+    TuneSpace space;
+};
+
+} // namespace asd
+
+#endif // ASD_SIM_TUNER_CONFIG_HPP

@@ -38,8 +38,13 @@
 namespace asd
 {
 
-/** Current (and only accepted) snapshot format version. */
-inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+/**
+ * Current (and only accepted) snapshot format version.
+ * v2: RunOptions metadata grew the GHB correlation mode and the
+ * phase-adaptive tuner block; GHB state grew delta-correlation
+ * fields; tuned runs add a "tun" section.
+ */
+inline constexpr std::uint32_t kSnapshotFormatVersion = 2;
 
 /**
  * Any way a snapshot can be unusable: truncated or corrupt bytes,

@@ -1,0 +1,217 @@
+#include "tuner/tuner_recorder.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/json.hpp"
+#include "common/log.hpp"
+
+namespace asd
+{
+
+namespace
+{
+
+/** CSV/JSON policy encoding, matching the TuneSpace policy axis. */
+std::uint32_t
+policyCode(const AsdTuning &t)
+{
+    return t.sched.adaptive
+               ? 0
+               : static_cast<std::uint32_t>(t.sched.fixed_policy);
+}
+
+bool
+saveString(const std::string &text, const std::string &path,
+           const char *what)
+{
+    std::error_code ec;
+    const auto parent = std::filesystem::path(path).parent_path();
+    if (!parent.empty())
+        std::filesystem::create_directories(parent, ec);
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot open " + std::string(what) + " file: " + path);
+        return false;
+    }
+    out << text;
+    out.flush();
+    if (!out) {
+        warn("write failed for " + std::string(what) +
+             " file: " + path);
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+void
+TunerRecorder::append(const TunerDecision &decision)
+{
+    decisions_.push_back(decision);
+}
+
+void
+TunerRecorder::realize(std::uint64_t index, std::uint64_t accesses)
+{
+    if (index >= decisions_.size()) {
+        warn("TunerRecorder: realize() for unknown decision " +
+             std::to_string(index));
+        return;
+    }
+    decisions_[index].realized_accesses = accesses;
+    decisions_[index].realized_valid = true;
+}
+
+void
+TunerRecorder::saveState(SnapshotWriter &w) const
+{
+    w.u64(decisions_.size());
+    for (const TunerDecision &d : decisions_) {
+        w.u64(d.decision);
+        w.u64(d.cycle);
+        w.u64(d.epoch);
+        w.u64(d.phase);
+        w.u32(d.candidates);
+        w.u64(d.shadow_cycles);
+        w.b(d.adopted_change);
+        w.u32(d.adopted.max_degree);
+        w.u32(d.adopted.epoch_reads);
+        w.u32(d.adopted.filter_slots);
+        w.u32(d.adopted.buffer_lines);
+        w.b(d.adopted.sched.adaptive);
+        w.i64(d.adopted.sched.fixed_policy);
+        w.i64(d.adopted.sched.start_policy);
+        w.u32(d.adopted.sched.high_watermark);
+        w.u32(d.adopted.sched.low_watermark);
+        w.u64(d.incumbent_shadow_accesses);
+        w.u64(d.winner_shadow_accesses);
+        w.u64(d.accesses_at_decision);
+        w.u64(d.realized_accesses);
+        w.b(d.realized_valid);
+    }
+}
+
+void
+TunerRecorder::loadState(SnapshotReader &r)
+{
+    const std::uint64_t count = r.u64();
+    SnapshotReader::check(count <= (1u << 20),
+                          "tuner decision log implausibly long");
+    decisions_.clear();
+    decisions_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        TunerDecision d;
+        d.decision = r.u64();
+        d.cycle = r.u64();
+        d.epoch = r.u64();
+        d.phase = r.u64();
+        d.candidates = r.u32();
+        d.shadow_cycles = r.u64();
+        d.adopted_change = r.b();
+        d.adopted.max_degree = r.u32();
+        d.adopted.epoch_reads = r.u32();
+        d.adopted.filter_slots = r.u32();
+        d.adopted.buffer_lines = r.u32();
+        d.adopted.sched.adaptive = r.b();
+        d.adopted.sched.fixed_policy = static_cast<int>(r.i64());
+        d.adopted.sched.start_policy = static_cast<int>(r.i64());
+        d.adopted.sched.high_watermark = r.u32();
+        d.adopted.sched.low_watermark = r.u32();
+        d.incumbent_shadow_accesses = r.u64();
+        d.winner_shadow_accesses = r.u64();
+        d.accesses_at_decision = r.u64();
+        d.realized_accesses = r.u64();
+        d.realized_valid = r.b();
+        decisions_.push_back(d);
+    }
+}
+
+void
+writeTunerCsv(const std::vector<TunerDecision> &decisions,
+              std::ostream &out)
+{
+    out << "decision,cycle,epoch,phase,candidates,shadow_cycles,"
+           "adopted_change,degree,epoch_reads,filter_slots,"
+           "buffer_lines,policy,incumbent_shadow_accesses,"
+           "winner_shadow_accesses,accesses_at_decision,"
+           "realized_accesses,realized_valid\n";
+    for (const TunerDecision &d : decisions) {
+        out << d.decision << ',' << d.cycle << ',' << d.epoch << ','
+            << d.phase << ',' << d.candidates << ','
+            << d.shadow_cycles << ',' << (d.adopted_change ? 1 : 0)
+            << ',' << d.adopted.max_degree << ','
+            << d.adopted.epoch_reads << ','
+            << d.adopted.filter_slots << ','
+            << d.adopted.buffer_lines << ','
+            << policyCode(d.adopted) << ','
+            << d.incumbent_shadow_accesses << ','
+            << d.winner_shadow_accesses << ','
+            << d.accesses_at_decision << ',' << d.realized_accesses
+            << ',' << (d.realized_valid ? 1 : 0) << '\n';
+    }
+}
+
+std::string
+tunerJson(const std::vector<TunerDecision> &decisions)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("format").value("asdsim/tuner/v1");
+    w.key("decisions").beginArray();
+    for (const TunerDecision &d : decisions) {
+        w.beginObject();
+        w.key("decision").value(d.decision);
+        w.key("cycle").value(d.cycle);
+        w.key("epoch").value(d.epoch);
+        w.key("phase").value(d.phase);
+        w.key("candidates").value(
+            static_cast<std::uint64_t>(d.candidates));
+        w.key("shadow_cycles").value(d.shadow_cycles);
+        w.key("adopted_change").value(d.adopted_change);
+        w.key("adopted").beginObject();
+        w.key("degree").value(
+            static_cast<std::uint64_t>(d.adopted.max_degree));
+        w.key("epoch_reads").value(
+            static_cast<std::uint64_t>(d.adopted.epoch_reads));
+        w.key("filter_slots").value(
+            static_cast<std::uint64_t>(d.adopted.filter_slots));
+        w.key("buffer_lines").value(
+            static_cast<std::uint64_t>(d.adopted.buffer_lines));
+        w.key("policy").value(
+            static_cast<std::uint64_t>(policyCode(d.adopted)));
+        w.endObject();
+        w.key("incumbent_shadow_accesses")
+            .value(d.incumbent_shadow_accesses);
+        w.key("winner_shadow_accesses")
+            .value(d.winner_shadow_accesses);
+        w.key("accesses_at_decision").value(d.accesses_at_decision);
+        w.key("realized_accesses").value(d.realized_accesses);
+        w.key("realized_valid").value(d.realized_valid);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+bool
+saveTunerCsv(const std::vector<TunerDecision> &decisions,
+             const std::string &path)
+{
+    std::ostringstream out;
+    writeTunerCsv(decisions, out);
+    return saveString(out.str(), path, "tuner CSV");
+}
+
+bool
+saveTunerJson(const std::vector<TunerDecision> &decisions,
+              const std::string &path)
+{
+    return saveString(tunerJson(decisions), path, "tuner JSON");
+}
+
+} // namespace asd

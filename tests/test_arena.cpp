@@ -39,10 +39,21 @@ TEST(Registry, CoversEveryMemSidePrefetcherKind)
         EXPECT_EQ(info->defaults.mode, PrefetchMode::MS);
         EXPECT_FALSE(info->description.empty());
     }
-    // Exactly one entry per enum value: extending McPrefetcherKind
-    // without registering the newcomer fails here.
+    // One entry per enum value plus the two variant contenders
+    // (ghb-dc and asd+tuner): extending McPrefetcherKind without
+    // registering the newcomer fails here.
     EXPECT_EQ(reg.names(PrefetcherSide::MemSide).size(),
-              static_cast<std::size_t>(last) + 1);
+              static_cast<std::size_t>(last) + 3);
+
+    const PrefetcherInfo *ghb_dc = reg.find("ghb-dc");
+    ASSERT_NE(ghb_dc, nullptr);
+    EXPECT_EQ(ghb_dc->defaults.mc_prefetcher, McPrefetcherKind::Ghb);
+    EXPECT_TRUE(ghb_dc->defaults.ghb_delta_correlate);
+
+    const PrefetcherInfo *tuned = reg.find("asd+tuner");
+    ASSERT_NE(tuned, nullptr);
+    EXPECT_EQ(tuned->defaults.mc_prefetcher, McPrefetcherKind::Asd);
+    EXPECT_TRUE(tuned->defaults.tuner.enabled);
 }
 
 TEST(Registry, CoversEveryCpuSidePrefetcher)

@@ -13,6 +13,8 @@
 #include "common/json.hpp"
 #include "sim/experiment.hpp"
 #include "sim/system.hpp"
+#include "snapshot/snapshot.hpp"
+#include "telemetry/recorder.hpp"
 #include "telemetry/sinks.hpp"
 #include "trace/synthetic.hpp"
 #include "workloads/profiles.hpp"
@@ -167,6 +169,104 @@ TEST(Telemetry, EpochDeltasSumBelowRunTotals)
     EXPECT_LE(reads, m.mc_reads);
     EXPECT_LE(issued, m.ms_prefetches_issued);
     EXPECT_GE(reads, 2000u);
+}
+
+// --- epoch-boundary edge cases --------------------------------------
+
+TEST(Telemetry, ZeroLengthEpochYieldsCleanZeroRecord)
+{
+    // A boundary that re-fires with no simulation progress (the
+    // degenerate zero-length final epoch) must record all-zero deltas
+    // and keep the 0/0 ratios at 0.0 rather than NaN.
+    DramConfig dram_config;
+    dram_config.refresh_enabled = false;
+    Dram dram(dram_config);
+    MemoryController mc(McConfig{}, dram, [](std::uint64_t, Cycle) {});
+    AsdPrefetcher asd{AsdConfig{}};
+    TelemetryConfig config;
+    config.enabled = true;
+    TelemetryRecorder recorder(config, asd, mc, dram);
+
+    recorder.onEpochEnd(1000);
+    recorder.onEpochEnd(1000);
+    ASSERT_EQ(recorder.records().size(), 2u);
+    const EpochRecord &rec = recorder.records().back();
+    EXPECT_EQ(rec.start_cycle, 1000u);
+    EXPECT_EQ(rec.end_cycle, 1000u);
+    EXPECT_EQ(rec.reads, 0u);
+    EXPECT_EQ(rec.prefetches_issued, 0u);
+    EXPECT_EQ(rec.buffer_hits, 0u);
+    EXPECT_EQ(rec.accuracy_pct, 0.0);
+    EXPECT_EQ(rec.coverage_pct, 0.0);
+}
+
+TEST(Telemetry, WarmupRebaselineExcludesWarmupActivity)
+{
+    // The recorder rebaselines when the prefetcher arms at the
+    // warm-up boundary: epoch 1 starts at or after warmup_cycles,
+    // still spans exactly epoch_reads MC reads (warm-up reads do not
+    // leak into its deltas), and the series stays gapless.
+    RunOptions options;
+    options.mode = PrefetchMode::MS;
+    options.warmup_cycles = 20000;
+    const auto epochs = recordedRun(options);
+    ASSERT_FALSE(epochs.empty());
+    EXPECT_GE(epochs.front().start_cycle, 20000u);
+    EXPECT_EQ(epochs.front().epoch, 1u);
+    EXPECT_EQ(epochs.front().reads, 2000u);
+    for (std::size_t i = 1; i < epochs.size(); ++i)
+        EXPECT_EQ(epochs[i].start_cycle, epochs[i - 1].end_cycle);
+}
+
+TEST(Telemetry, HookReArmsAfterSnapshotRestore)
+{
+    RunOptions options;
+    options.mode = PrefetchMode::MS;
+    options.telemetry.enabled = true;
+    const SystemConfig config = makeSystemConfig(options);
+    SyntheticConfig trace_config = findBenchmark("bwaves").trace;
+    trace_config.total_accesses = 60000;
+
+    SyntheticTraceGenerator straight_trace(trace_config);
+    System straight(config, {&straight_trace});
+    const RunMetrics metrics = straight.run();
+    ASSERT_NE(straight.telemetry(), nullptr);
+    const std::vector<EpochRecord> want =
+        straight.telemetry()->records();
+    ASSERT_GE(want.size(), 2u);
+
+    SyntheticTraceGenerator first_trace(trace_config);
+    System first(config, {&first_trace});
+    first.runUntil(metrics.cycles / 2);
+    SnapshotWriter writer;
+    first.saveSnapshot(writer);
+    const std::vector<std::uint8_t> bytes = writer.finish(0);
+    const std::size_t prefix = first.telemetry()->records().size();
+    ASSERT_LT(prefix, want.size());
+
+    SyntheticTraceGenerator resumed_trace(trace_config);
+    System resumed(config, {&resumed_trace});
+    SnapshotReader reader(bytes);
+    resumed.loadSnapshot(reader);
+    resumed.runUntil(kNoCycle);
+
+    // New records accumulated after the restore: the epoch-end hook
+    // was re-armed, and the combined series matches the
+    // uninterrupted run exactly.
+    const std::vector<EpochRecord> &got =
+        resumed.telemetry()->records();
+    ASSERT_GT(got.size(), prefix);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(got[i].epoch, want[i].epoch);
+        EXPECT_EQ(got[i].start_cycle, want[i].start_cycle);
+        EXPECT_EQ(got[i].end_cycle, want[i].end_cycle);
+        EXPECT_EQ(got[i].reads, want[i].reads);
+        EXPECT_EQ(got[i].suggested, want[i].suggested);
+        EXPECT_EQ(got[i].prefetches_issued,
+                  want[i].prefetches_issued);
+        EXPECT_EQ(got[i].policy, want[i].policy);
+    }
 }
 
 TEST(TelemetrySinks, CsvHasHeaderAndOneRowPerEpoch)

@@ -9,6 +9,8 @@
 #       [--split-at CYCLE] [asdsim_cli args...]
 #   tools/determinism_diff.sh --bakeoff <path-to-asdbakeoff> \
 #       [asdbakeoff args...]
+#   tools/determinism_diff.sh --tuner <path-to-asdsim_cli> \
+#       [asdsim_cli args...]
 #
 # With --split-at CYCLE the second run is checkpointed: it saves a
 # snapshot at CYCLE, then restores and finishes from it — so the diff
@@ -21,13 +23,20 @@
 # files (bakeoff.json, leaderboard.md) must compare byte-identical —
 # the arena's parallelism-independence audit.
 #
+# With --tuner the run is phase-adaptively tuned (--tune is added for
+# you): the same configuration runs once with 1 shadow worker thread
+# and once with 4, and the stats JSON, the per-decision tuner CSV, and
+# stdout must compare byte-identical — shadow candidates may be
+# *evaluated* in any order on any number of threads, but the adopted
+# configuration sequence must never depend on it.
+#
 # Without extra args a short default configuration is used. Exits 0
 # when both runs are byte-identical, 1 otherwise.
 set -euo pipefail
 
 if [ $# -lt 1 ]; then
-    echo "usage: $0 [--bakeoff] <path-to-cli> [--split-at CYCLE]" \
-         "[cli args...]" >&2
+    echo "usage: $0 [--bakeoff|--tuner] <path-to-cli>" \
+         "[--split-at CYCLE] [cli args...]" >&2
     exit 2
 fi
 
@@ -67,6 +76,61 @@ if [ "$1" = "--bakeoff" ]; then
     if [ $status -eq 0 ]; then
         echo "determinism_diff: OK (${ARGS[*]}) — bake-off report" \
              "byte-identical on 1 and 4 threads"
+    fi
+    exit $status
+fi
+
+if [ "$1" = "--tuner" ]; then
+    shift
+    if [ $# -lt 1 ]; then
+        echo "determinism_diff: --tuner needs the asdsim_cli" \
+             "path" >&2
+        exit 2
+    fi
+    CLI=$1
+    shift
+    if [ ! -x "$CLI" ]; then
+        echo "determinism_diff: not an executable: $CLI" >&2
+        exit 2
+    fi
+    ARGS=("$@")
+    if [ ${#ARGS[@]} -eq 0 ]; then
+        # Long enough for several phase-detector decisions; the low
+        # threshold makes it fire on GemsFDTD's natural phase churn.
+        ARGS=(--bench GemsFDTD --mode MS --accesses 300000
+              --tune-threshold 20000 --tune-horizon 40000)
+    fi
+    TMP=$(mktemp -d)
+    trap 'rm -rf "$TMP"' EXIT
+    "$CLI" "${ARGS[@]}" --tune --tune-threads 1 --csv \
+        --json "$TMP/stats1.json" \
+        --tuner-csv "$TMP/tuner1.csv" \
+        > "$TMP/stdout1.txt"
+    "$CLI" "${ARGS[@]}" --tune --tune-threads 4 --csv \
+        --json "$TMP/stats2.json" \
+        --tuner-csv "$TMP/tuner2.csv" \
+        > "$TMP/stdout2.txt"
+    if ! grep -q "," "$TMP/tuner1.csv" || \
+       [ "$(wc -l < "$TMP/tuner1.csv")" -lt 2 ]; then
+        echo "determinism_diff: tuner made no decisions — the audit" \
+             "compared nothing; lengthen the run" >&2
+        exit 1
+    fi
+    status=0
+    for artifact in stats.json tuner.csv stdout.txt; do
+        base=${artifact%.*}
+        ext=${artifact##*.}
+        if ! cmp -s "$TMP/$base"1".$ext" "$TMP/$base"2".$ext"; then
+            echo "determinism_diff: $artifact differs between" \
+                 "1-thread and 4-thread shadow evaluation:" >&2
+            diff "$TMP/$base"1".$ext" "$TMP/$base"2".$ext" >&2 \
+                || true
+            status=1
+        fi
+    done
+    if [ $status -eq 0 ]; then
+        echo "determinism_diff: OK (${ARGS[*]}) — tuned run" \
+             "byte-identical across shadow thread counts"
     fi
     exit $status
 fi
