@@ -115,6 +115,7 @@ class MshrFile : public Snapshottable
         return entries_.size();
     }
 
+    // asdlint:allow(snapshot-field-coverage): ctor configuration; loadState only bounds-checks against it
     std::size_t capacity_;
     std::vector<Entry> entries_;
 };

@@ -131,8 +131,11 @@ class StreamFilter : public Snapshottable
      */
     void mergeConverged(const Slot &winner, StreamObservation &result);
 
+    // asdlint:allow(snapshot-field-coverage): geometry knob from the ctor; loadState only validates the slot count against it
     std::uint32_t slots_; //!< 0 = unbounded
+    // asdlint:allow(snapshot-field-coverage): lifetime knobs are ctor configuration, re-derived when the filter is rebuilt
     Cycles lifetime_init_;
+    // asdlint:allow(snapshot-field-coverage): see lifetime_init_
     Cycles lifetime_extend_;
     std::vector<Slot> table_;
 };

@@ -136,6 +136,7 @@ class TraceCpu : public Snapshottable
     CacheHierarchy &hierarchy_;
     CpuPrefetcher *ps_;
     MemPort &port_;
+    // asdlint:allow(snapshot-field-coverage): thread id is wiring configuration fixed at construction, never dynamic state
     std::uint32_t thread_;
     Mmu *mmu_;
 

@@ -1,0 +1,916 @@
+#include "lint/decl_index.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "lint/token_util.hpp"
+
+namespace asd::lint
+{
+
+namespace
+{
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+/**
+ * Skip a template-argument list. @p open_index points at '<';
+ * returns the index one past the matching '>' (a '>>' token closes
+ * two levels), or @p open_index when the construct does not look
+ * like a template (so the caller treats '<' as an operator).
+ */
+std::size_t
+skipAngles(const std::vector<Token> &t, std::size_t open_index)
+{
+    int depth = 0;
+    for (std::size_t i = open_index; i < t.size(); ++i) {
+        const Token &tok = t[i];
+        if (tok.kind != TokenKind::Punct)
+            continue;
+        if (tok.text == "<") {
+            ++depth;
+        } else if (tok.text == ">") {
+            if (--depth == 0)
+                return i + 1;
+        } else if (tok.text == ">>") {
+            depth -= 2;
+            if (depth <= 0)
+                return i + 1;
+        } else if (tok.text == ";" || tok.text == "{" ||
+                   tok.text == "}" || tok.text == "<<") {
+            return open_index; // not a template-argument list
+        }
+    }
+    return open_index;
+}
+
+/**
+ * Advance to just past the ';' that ends the statement starting at
+ * @p pos, balancing parens/brackets/braces. A top-level brace group
+ * (e.g. an in-class friend definition) also ends the statement; a
+ * trailing ';' after it is consumed.
+ */
+std::size_t
+skipStatement(const std::vector<Token> &t, std::size_t pos,
+              std::size_t end)
+{
+    for (std::size_t i = pos; i < end; ++i) {
+        if (isPunct(t[i], ";"))
+            return i + 1;
+        if (isPunct(t[i], "(")) {
+            i = skipBalanced(t, i, "(", ")") - 1;
+        } else if (isPunct(t[i], "[")) {
+            i = skipBalanced(t, i, "[", "]") - 1;
+        } else if (isPunct(t[i], "{")) {
+            const std::size_t after = skipBalanced(t, i, "{", "}");
+            return after < end && isPunct(t[after], ";") ? after + 1
+                                                         : after;
+        } else if (isPunct(t[i], "}")) {
+            return i; // ran into the enclosing scope's closer
+        }
+    }
+    return end;
+}
+
+/** One scanned declaration-ish chunk at class or namespace scope. */
+struct Chunk
+{
+    std::size_t end = 0;        //!< one past the chunk
+    bool is_function = false;   //!< saw `ident (` in declarator spot
+    std::size_t name_index = kNpos; //!< the ident before the '('
+    std::size_t params_begin = kNpos, params_end = kNpos;
+    bool has_body = false;
+    std::size_t body_begin = kNpos, body_end = kNpos;
+    std::size_t decl_end = kNpos;   //!< first of '=', '{', ';'
+    std::size_t pointer_paren = kNpos; //!< `( *` declarator group
+};
+
+/** Skip an initializer: everything up to the ';' at depth 0. */
+std::size_t
+skipInitializer(const std::vector<Token> &t, std::size_t pos,
+                std::size_t end)
+{
+    for (std::size_t i = pos; i < end; ++i) {
+        if (isPunct(t[i], ";"))
+            return i;
+        if (isPunct(t[i], "("))
+            i = skipBalanced(t, i, "(", ")") - 1;
+        else if (isPunct(t[i], "["))
+            i = skipBalanced(t, i, "[", "]") - 1;
+        else if (isPunct(t[i], "{"))
+            i = skipBalanced(t, i, "{", "}") - 1;
+        else if (isPunct(t[i], "}"))
+            return i;
+    }
+    return end;
+}
+
+/**
+ * Scan one declaration chunk starting at @p pos. Understands enough
+ * declarator shape to answer: is this a function (and where are its
+ * name, parameters, and body), or a member/variable declaration
+ * (and where does the declarator list end)?
+ */
+Chunk
+scanChunk(const std::vector<Token> &t, std::size_t pos,
+          std::size_t end)
+{
+    Chunk c;
+    std::size_t i = pos;
+    while (i < end) {
+        const Token &tok = t[i];
+        if (isPunct(tok, ";")) {
+            if (c.decl_end == kNpos)
+                c.decl_end = i;
+            c.end = i + 1;
+            return c;
+        }
+        if (isPunct(tok, "}")) {
+            // Enclosing scope closer: malformed chunk, stop here.
+            if (c.decl_end == kNpos)
+                c.decl_end = i;
+            c.end = i;
+            return c;
+        }
+        if (isPunct(tok, "=") && !c.is_function) {
+            if (c.decl_end == kNpos)
+                c.decl_end = i;
+            i = skipInitializer(t, i + 1, end);
+            continue;
+        }
+        if (isPunct(tok, "=") && c.is_function) {
+            // = 0 / = default / = delete
+            i = skipInitializer(t, i + 1, end);
+            continue;
+        }
+        if (isPunct(tok, "{")) {
+            if (c.is_function) {
+                const std::size_t after =
+                    skipBalanced(t, i, "{", "}");
+                c.has_body = true;
+                c.body_begin = i + 1;
+                c.body_end = after > i ? after - 1 : i + 1;
+                c.end = after;
+                return c;
+            }
+            if (c.decl_end == kNpos)
+                c.decl_end = i;
+            i = skipBalanced(t, i, "{", "}");
+            continue;
+        }
+        if (isPunct(tok, "(")) {
+            if (!c.is_function && c.decl_end == kNpos) {
+                if (i + 1 < end && (isPunct(t[i + 1], "*") ||
+                                    isPunct(t[i + 1], "&"))) {
+                    c.pointer_paren = i;
+                    i = skipBalanced(t, i, "(", ")");
+                    continue;
+                }
+                if (i > pos &&
+                    t[i - 1].kind == TokenKind::Identifier) {
+                    c.is_function = true;
+                    c.name_index = i - 1;
+                    c.params_begin = i + 1;
+                    const std::size_t after =
+                        skipBalanced(t, i, "(", ")");
+                    c.params_end = after > i ? after - 1 : i + 1;
+                    i = after;
+                    continue;
+                }
+            }
+            i = skipBalanced(t, i, "(", ")");
+            continue;
+        }
+        if (isPunct(tok, "[")) {
+            i = skipBalanced(t, i, "[", "]");
+            continue;
+        }
+        if (isPunct(tok, "<") && i > pos &&
+            t[i - 1].kind == TokenKind::Identifier) {
+            const std::size_t after = skipAngles(t, i);
+            i = after > i ? after : i + 1;
+            continue;
+        }
+        ++i;
+    }
+    if (c.decl_end == kNpos)
+        c.decl_end = end;
+    c.end = end;
+    return c;
+}
+
+/**
+ * Split the declarator list [pos, decl_end) of a member statement
+ * into declarators and append MemberDecls. The first segment carries
+ * the type; later comma-separated segments share it.
+ */
+void
+parseMemberDeclarators(const std::vector<Token> &t, std::size_t pos,
+                       std::size_t decl_end, const Chunk &chunk,
+                       ClassDecl &cls)
+{
+    if (chunk.pointer_paren != kNpos) {
+        // `void (*hook_)(int);` — the name hides inside the parens.
+        for (std::size_t i = chunk.pointer_paren + 1; i < decl_end;
+             ++i) {
+            if (t[i].kind == TokenKind::Identifier) {
+                MemberDecl m;
+                m.name = t[i].text;
+                m.line = t[i].line;
+                m.is_pointer = true;
+                for (std::size_t k = pos; k < chunk.pointer_paren;
+                     ++k)
+                    m.type_tokens.push_back(t[k].text);
+                cls.members.push_back(std::move(m));
+                return;
+            }
+            if (isPunct(t[i], ")"))
+                return;
+        }
+        return;
+    }
+
+    // Split on top-level commas.
+    std::vector<std::pair<std::size_t, std::size_t>> segments;
+    std::size_t seg_start = pos;
+    for (std::size_t i = pos; i < decl_end; ++i) {
+        if (isPunct(t[i], "(")) {
+            i = skipBalanced(t, i, "(", ")") - 1;
+        } else if (isPunct(t[i], "[")) {
+            i = skipBalanced(t, i, "[", "]") - 1;
+        } else if (isPunct(t[i], "{")) {
+            i = skipBalanced(t, i, "{", "}") - 1;
+        } else if (isPunct(t[i], "<") && i > pos &&
+                   t[i - 1].kind == TokenKind::Identifier) {
+            const std::size_t after = skipAngles(t, i);
+            if (after > i)
+                i = after - 1;
+        } else if (isPunct(t[i], ",")) {
+            segments.emplace_back(seg_start, i);
+            seg_start = i + 1;
+        }
+    }
+    segments.emplace_back(seg_start, decl_end);
+
+    // Name = last identifier of a segment, skipping array suffixes
+    // and an optional bitfield width.
+    const auto nameIndexOf =
+        [&](std::size_t begin, std::size_t seg_end) -> std::size_t {
+        std::size_t k = seg_end;
+        while (k > begin) {
+            --k;
+            if (isPunct(t[k], "]")) {
+                int depth = 0;
+                while (k > begin) {
+                    if (isPunct(t[k], "]"))
+                        ++depth;
+                    else if (isPunct(t[k], "[") && --depth == 0)
+                        break;
+                    --k;
+                }
+                continue;
+            }
+            if (t[k].kind == TokenKind::Identifier)
+                return k;
+        }
+        return kNpos;
+    };
+
+    // Bitfield: `int flag : 3;` — the width is not the name.
+    std::size_t first_end = segments[0].second;
+    for (std::size_t i = segments[0].first; i < first_end; ++i) {
+        if (isPunct(t[i], ":") &&
+            !(i > segments[0].first && isPunct(t[i - 1], ":"))) {
+            first_end = i;
+            break;
+        }
+    }
+
+    const std::size_t first_name =
+        nameIndexOf(segments[0].first, first_end);
+    if (first_name == kNpos)
+        return;
+
+    std::vector<std::string> type_tokens;
+    for (std::size_t k = segments[0].first; k < first_name; ++k)
+        type_tokens.push_back(t[k].text);
+    if (type_tokens.empty())
+        return; // a lone identifier is not a member declaration
+
+    const auto flagsFrom = [](const std::vector<std::string> &texts,
+                              MemberDecl &m) {
+        for (const std::string &text : texts) {
+            if (text == "static" || text == "constexpr")
+                m.is_static = true;
+            else if (text == "const")
+                m.is_const = true;
+            else if (text == "&" || text == "&&")
+                m.is_reference = true;
+            else if (text == "*")
+                m.is_pointer = true;
+        }
+    };
+
+    for (std::size_t s = 0; s < segments.size(); ++s) {
+        const std::size_t name_idx =
+            s == 0 ? first_name
+                   : nameIndexOf(segments[s].first,
+                                 segments[s].second);
+        if (name_idx == kNpos)
+            continue;
+        MemberDecl m;
+        m.name = t[name_idx].text;
+        m.line = t[name_idx].line;
+        m.type_tokens = type_tokens;
+        flagsFrom(type_tokens, m);
+        if (s > 0) {
+            // declarator-local * / & override the shared type's
+            std::vector<std::string> local;
+            for (std::size_t k = segments[s].first; k < name_idx; ++k)
+                local.push_back(t[k].text);
+            flagsFrom(local, m);
+        }
+        cls.members.push_back(std::move(m));
+    }
+}
+
+/** An out-of-line `A::B::method(...) { ... }` awaiting binding. */
+struct PendingBody
+{
+    std::vector<std::string> class_path;
+    std::string method;
+    std::string file;
+    std::uint32_t line = 0;
+    std::vector<Token> body;
+};
+
+class Builder
+{
+  public:
+    explicit Builder(DeclIndex &index) : index_(index) {}
+
+    void
+    file(IndexedFile &f)
+    {
+        path_ = f.path;
+        const std::vector<Token> &t = f.tokens;
+        for (const Token &tok : t) {
+            const std::string inc = quotedInclude(tok);
+            if (!inc.empty())
+                f.includes.push_back(inc);
+        }
+        parseScope(t, 0, t.size(), "");
+    }
+
+    void
+    bindPending()
+    {
+        for (PendingBody &p : pending_) {
+            ClassDecl *cls = resolveClass(p.class_path);
+            if (!cls)
+                continue;
+            MethodDecl *slot = nullptr;
+            for (MethodDecl &m : cls->methods)
+                if (m.name == p.method && !m.has_body) {
+                    slot = &m;
+                    break;
+                }
+            if (!slot) {
+                cls->methods.push_back({});
+                slot = &cls->methods.back();
+                slot->name = p.method;
+            }
+            slot->file = p.file;
+            slot->line = p.line;
+            slot->has_body = true;
+            slot->body = std::move(p.body);
+        }
+        pending_.clear();
+    }
+
+  private:
+    /** Innermost-first match of a qualifier path against classes. */
+    ClassDecl *
+    resolveClass(const std::vector<std::string> &class_path)
+    {
+        std::string joined;
+        for (const std::string &part : class_path)
+            joined += (joined.empty() ? "" : "::") + part;
+        for (ClassDecl &cls : index_.classes)
+            if (cls.qualified == joined)
+                return &cls;
+        const std::string suffix = "::" + joined;
+        for (ClassDecl &cls : index_.classes) {
+            if (cls.qualified.size() > suffix.size() &&
+                cls.qualified.compare(cls.qualified.size() -
+                                          suffix.size(),
+                                      suffix.size(), suffix) == 0)
+                return &cls;
+        }
+        for (ClassDecl &cls : index_.classes)
+            if (cls.name == class_path.back())
+                return &cls;
+        return nullptr;
+    }
+
+    /** Namespace / global scope. @p outer is the class-name prefix. */
+    void
+    parseScope(const std::vector<Token> &t, std::size_t pos,
+               std::size_t end, const std::string &outer)
+    {
+        std::size_t i = pos;
+        while (i < end) {
+            const Token &tok = t[i];
+            if (tok.kind == TokenKind::Directive) {
+                ++i;
+                continue;
+            }
+            if (isIdent(tok, "namespace")) {
+                std::size_t j = i + 1;
+                while (j < end &&
+                       (t[j].kind == TokenKind::Identifier ||
+                        isPunct(t[j], "::")))
+                    ++j;
+                if (j < end && isPunct(t[j], "{")) {
+                    const std::size_t after =
+                        skipBalanced(t, j, "{", "}");
+                    parseScope(t, j + 1,
+                               after > j ? after - 1 : j + 1, outer);
+                    i = after;
+                } else {
+                    i = skipStatement(t, i, end); // alias / odd form
+                }
+                continue;
+            }
+            if (isIdent(tok, "template")) {
+                if (i + 1 < end && isPunct(t[i + 1], "<")) {
+                    const std::size_t after = skipAngles(t, i + 1);
+                    i = after > i + 1 ? after : i + 2;
+                } else {
+                    ++i;
+                }
+                continue;
+            }
+            if (isIdent(tok, "using") || isIdent(tok, "typedef") ||
+                isIdent(tok, "static_assert") ||
+                isIdent(tok, "friend")) {
+                i = skipStatement(t, i, end);
+                continue;
+            }
+            if (isIdent(tok, "enum") || isIdent(tok, "union")) {
+                i = skipEnumOrUnion(t, i, end);
+                continue;
+            }
+            if ((isIdent(tok, "class") || isIdent(tok, "struct")) &&
+                looksLikeClassDefinition(t, i, end)) {
+                i = parseClass(t, i, end, outer);
+                i = skipStatement(t, i, end); // optional declarator
+                continue;
+            }
+            if (isIdent(tok, "extern") && i + 1 < end &&
+                t[i + 1].kind == TokenKind::String) {
+                i += 2;
+                if (i < end && isPunct(t[i], "{")) {
+                    const std::size_t after =
+                        skipBalanced(t, i, "{", "}");
+                    parseScope(t, i + 1,
+                               after > i ? after - 1 : i + 1, outer);
+                    i = after;
+                }
+                continue;
+            }
+            if (isPunct(tok, "{") || isPunct(tok, "}") ||
+                isPunct(tok, ";")) {
+                i = isPunct(tok, "{")
+                        ? skipBalanced(t, i, "{", "}")
+                        : i + 1;
+                continue;
+            }
+
+            const Chunk c = scanChunk(t, i, end);
+            if (c.is_function && c.has_body &&
+                c.name_index != kNpos)
+                recordFunction(t, c, outer);
+            i = c.end > i ? c.end : i + 1;
+        }
+    }
+
+    /** True when `class`/`struct` at @p i introduces a definition. */
+    bool
+    looksLikeClassDefinition(const std::vector<Token> &t,
+                             std::size_t i, std::size_t end) const
+    {
+        std::size_t j = i + 1;
+        while (j < end && isPunct(t[j], "["))
+            j = skipBalanced(t, j, "[", "]");
+        if (j < end && isIdent(t[j], "alignas") && j + 1 < end &&
+            isPunct(t[j + 1], "("))
+            j = skipBalanced(t, j + 1, "(", ")");
+        if (j >= end || t[j].kind != TokenKind::Identifier)
+            return j < end && isPunct(t[j], "{"); // anonymous
+        ++j;
+        if (j < end && isIdent(t[j], "final"))
+            ++j;
+        return j < end &&
+               (isPunct(t[j], "{") || isPunct(t[j], ":"));
+    }
+
+    std::size_t
+    skipEnumOrUnion(const std::vector<Token> &t, std::size_t i,
+                    std::size_t end) const
+    {
+        std::size_t j = i + 1;
+        while (j < end && !isPunct(t[j], "{") &&
+               !isPunct(t[j], ";") && !isPunct(t[j], "}"))
+            ++j;
+        if (j < end && isPunct(t[j], "{"))
+            j = skipBalanced(t, j, "{", "}");
+        return skipStatement(t, j, end);
+    }
+
+    /**
+     * Parse a class definition at @p i (keyword position); returns
+     * the index one past the body's '}' (the caller consumes any
+     * trailing declarator and ';').
+     */
+    std::size_t
+    parseClass(const std::vector<Token> &t, std::size_t i,
+               std::size_t end, const std::string &outer)
+    {
+        const bool is_struct = isIdent(t[i], "struct");
+        std::size_t j = i + 1;
+        while (j < end && isPunct(t[j], "["))
+            j = skipBalanced(t, j, "[", "]");
+        if (j < end && isIdent(t[j], "alignas") && j + 1 < end &&
+            isPunct(t[j + 1], "("))
+            j = skipBalanced(t, j + 1, "(", ")");
+        std::string name;
+        std::uint32_t line = t[i].line;
+        if (j < end && t[j].kind == TokenKind::Identifier) {
+            name = t[j].text;
+            line = t[j].line;
+            ++j;
+        }
+        if (j < end && isIdent(t[j], "final"))
+            ++j;
+
+        std::vector<std::string> bases;
+        if (j < end && isPunct(t[j], ":")) {
+            ++j;
+            std::string last_ident;
+            bool in_template = false;
+            while (j < end && !isPunct(t[j], "{")) {
+                if (isPunct(t[j], "<")) {
+                    const std::size_t after = skipAngles(t, j);
+                    in_template = true;
+                    j = after > j ? after : j + 1;
+                    continue;
+                }
+                if (isPunct(t[j], ",")) {
+                    if (!last_ident.empty())
+                        bases.push_back(last_ident);
+                    last_ident.clear();
+                    in_template = false;
+                    ++j;
+                    continue;
+                }
+                if (t[j].kind == TokenKind::Identifier &&
+                    !in_template && !isIdent(t[j], "public") &&
+                    !isIdent(t[j], "private") &&
+                    !isIdent(t[j], "protected") &&
+                    !isIdent(t[j], "virtual"))
+                    last_ident = t[j].text;
+                ++j;
+            }
+            if (!last_ident.empty())
+                bases.push_back(last_ident);
+        }
+
+        if (j >= end || !isPunct(t[j], "{"))
+            return j; // not actually a definition; bail gracefully
+
+        const std::size_t after = skipBalanced(t, j, "{", "}");
+        if (!name.empty()) {
+            ClassDecl cls;
+            cls.name = name;
+            cls.qualified =
+                outer.empty() ? name : outer + "::" + name;
+            cls.file = path_;
+            cls.line = line;
+            cls.is_struct = is_struct;
+            cls.bases = std::move(bases);
+            const std::size_t body_end = after > j ? after - 1 : j + 1;
+            parseClassBody(t, j + 1, body_end, cls);
+            index_.classes.push_back(std::move(cls));
+        }
+        return after;
+    }
+
+    void
+    parseClassBody(const std::vector<Token> &t, std::size_t pos,
+                   std::size_t end, ClassDecl &cls)
+    {
+        std::size_t i = pos;
+        while (i < end) {
+            const Token &tok = t[i];
+            if (tok.kind == TokenKind::Directive ||
+                isPunct(tok, ";")) {
+                ++i;
+                continue;
+            }
+            if ((isIdent(tok, "public") || isIdent(tok, "private") ||
+                 isIdent(tok, "protected")) &&
+                i + 1 < end && isPunct(t[i + 1], ":")) {
+                i += 2;
+                continue;
+            }
+            if (isIdent(tok, "using") || isIdent(tok, "typedef") ||
+                isIdent(tok, "friend") ||
+                isIdent(tok, "static_assert")) {
+                i = skipStatement(t, i, end);
+                continue;
+            }
+            if (isIdent(tok, "template")) {
+                if (i + 1 < end && isPunct(t[i + 1], "<")) {
+                    const std::size_t after = skipAngles(t, i + 1);
+                    i = after > i + 1 ? after : i + 2;
+                } else {
+                    ++i;
+                }
+                continue;
+            }
+            if (isIdent(tok, "enum") || isIdent(tok, "union")) {
+                i = skipEnumOrUnion(t, i, end);
+                continue;
+            }
+            if ((isIdent(tok, "class") || isIdent(tok, "struct")) &&
+                looksLikeClassDefinition(t, i, end)) {
+                i = parseClass(t, i, end, cls.qualified);
+                // `struct Inner { ... } member_;`
+                if (i < end &&
+                    t[i].kind == TokenKind::Identifier) {
+                    MemberDecl m;
+                    m.name = t[i].text;
+                    m.line = t[i].line;
+                    m.type_tokens.push_back("struct");
+                    cls.members.push_back(std::move(m));
+                }
+                i = skipStatement(t, i, end);
+                continue;
+            }
+
+            const Chunk c = scanChunk(t, i, end);
+            if (c.is_function && c.name_index != kNpos) {
+                MethodDecl m;
+                m.name = t[c.name_index].text;
+                if (c.name_index > i &&
+                    isPunct(t[c.name_index - 1], "~"))
+                    m.name = "~" + m.name;
+                m.file = path_;
+                m.line = t[c.name_index].line;
+                if (c.has_body) {
+                    m.has_body = true;
+                    m.body.assign(t.begin() +
+                                      static_cast<std::ptrdiff_t>(
+                                          c.body_begin),
+                                  t.begin() +
+                                      static_cast<std::ptrdiff_t>(
+                                          c.body_end));
+                }
+                cls.methods.push_back(std::move(m));
+            } else if (!c.is_function) {
+                parseMemberDeclarators(t, i, c.decl_end, c, cls);
+            }
+            i = c.end > i ? c.end : i + 1;
+        }
+    }
+
+    void
+    recordFunction(const std::vector<Token> &t, const Chunk &c,
+                   const std::string &outer)
+    {
+        // Walk the `A::B::name` qualifier chain backwards.
+        std::vector<std::string> chain;
+        std::size_t k = c.name_index;
+        std::string name = t[k].text;
+        if (k > 0 && isPunct(t[k - 1], "~")) {
+            name = "~" + name;
+            --k;
+        }
+        chain.push_back(name);
+        while (k >= 2 && isPunct(t[k - 1], "::") &&
+               t[k - 2].kind == TokenKind::Identifier) {
+            chain.insert(chain.begin(), t[k - 2].text);
+            k -= 2;
+        }
+
+        std::vector<Token> body(
+            t.begin() + static_cast<std::ptrdiff_t>(c.body_begin),
+            t.begin() + static_cast<std::ptrdiff_t>(c.body_end));
+
+        if (chain.size() == 1 && outer.empty()) {
+            FunctionDecl fn;
+            fn.name = chain[0];
+            fn.file = path_;
+            fn.line = t[c.name_index].line;
+            for (std::size_t p = c.params_begin;
+                 p < c.params_end && p < t.size(); ++p)
+                fn.param_tokens.push_back(t[p].text);
+            fn.body = std::move(body);
+            index_.functions.push_back(std::move(fn));
+            return;
+        }
+        PendingBody p;
+        if (chain.size() == 1) {
+            // In-scope definition while outer is a class? Cannot
+            // happen (class bodies are parsed separately); treat the
+            // whole chain as a free function.
+            FunctionDecl fn;
+            fn.name = chain[0];
+            fn.file = path_;
+            fn.line = t[c.name_index].line;
+            for (std::size_t q = c.params_begin;
+                 q < c.params_end && q < t.size(); ++q)
+                fn.param_tokens.push_back(t[q].text);
+            fn.body = std::move(body);
+            index_.functions.push_back(std::move(fn));
+            return;
+        }
+        p.method = chain.back();
+        chain.pop_back();
+        p.class_path = std::move(chain);
+        p.file = path_;
+        p.line = t[c.name_index].line;
+        p.body = std::move(body);
+        pending_.push_back(std::move(p));
+    }
+
+    DeclIndex &index_;
+    std::string path_;
+    std::vector<PendingBody> pending_;
+};
+
+} // namespace
+
+bool
+MemberDecl::typeMentions(std::string_view text) const
+{
+    for (const std::string &tok : type_tokens)
+        if (tok.find(text) != std::string::npos)
+            return true;
+    return false;
+}
+
+bool
+FunctionDecl::paramsMention(std::string_view text) const
+{
+    for (const std::string &tok : param_tokens)
+        if (tok == text)
+            return true;
+    return false;
+}
+
+const MethodDecl *
+ClassDecl::findMethod(std::string_view method_name) const
+{
+    // Prefer a body-carrying entry (a declaration may coexist with
+    // an out-of-line definition that failed to merge).
+    const MethodDecl *found = nullptr;
+    for (const MethodDecl &m : methods) {
+        if (m.name != method_name)
+            continue;
+        if (m.has_body)
+            return &m;
+        if (!found)
+            found = &m;
+    }
+    return found;
+}
+
+std::set<std::string>
+ClassDecl::referencedFrom(std::string_view method) const
+{
+    std::set<std::string> out;
+    std::vector<std::string> queue{std::string(method)};
+    std::set<std::string> visited{std::string(method)};
+    while (!queue.empty()) {
+        const std::string current = queue.back();
+        queue.pop_back();
+        const MethodDecl *m = findMethod(current);
+        if (!m || !m->has_body)
+            continue;
+        for (const std::string &id : identifiersIn(m->body))
+            out.insert(id);
+        for (const std::string &callee : calledNames(m->body)) {
+            if (visited.count(callee))
+                continue;
+            if (findMethod(callee)) {
+                visited.insert(callee);
+                queue.push_back(callee);
+            }
+        }
+    }
+    return out;
+}
+
+const ClassDecl *
+DeclIndex::findClass(std::string_view name) const
+{
+    for (const ClassDecl &cls : classes)
+        if (cls.qualified == name)
+            return &cls;
+    for (const ClassDecl &cls : classes)
+        if (cls.name == name)
+            return &cls;
+    const std::string suffix = "::" + std::string(name);
+    for (const ClassDecl &cls : classes) {
+        if (cls.qualified.size() > suffix.size() &&
+            cls.qualified.compare(cls.qualified.size() -
+                                      suffix.size(),
+                                  suffix.size(), suffix) == 0)
+            return &cls;
+    }
+    return nullptr;
+}
+
+std::vector<const ClassDecl *>
+DeclIndex::derivedFrom(std::string_view base) const
+{
+    std::set<std::string> in_family{std::string(base)};
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const ClassDecl &cls : classes) {
+            if (in_family.count(cls.name) ||
+                in_family.count(cls.qualified))
+                continue;
+            for (const std::string &b : cls.bases) {
+                if (in_family.count(b)) {
+                    in_family.insert(cls.name);
+                    in_family.insert(cls.qualified);
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+    std::vector<const ClassDecl *> out;
+    for (const ClassDecl &cls : classes)
+        if (cls.name != base && in_family.count(cls.name))
+            out.push_back(&cls);
+    return out;
+}
+
+std::vector<const FunctionDecl *>
+DeclIndex::findFunctions(std::string_view name) const
+{
+    std::vector<const FunctionDecl *> out;
+    for (const FunctionDecl &fn : functions)
+        if (fn.name == name)
+            out.push_back(&fn);
+    return out;
+}
+
+const IndexedFile *
+DeclIndex::findFile(std::string_view path) const
+{
+    for (const IndexedFile &f : files)
+        if (f.path == path)
+            return &f;
+    return nullptr;
+}
+
+DeclIndex
+buildDeclIndex(std::vector<IndexedFile> files)
+{
+    DeclIndex index;
+    index.files = std::move(files);
+    Builder builder(index);
+    for (IndexedFile &f : index.files)
+        builder.file(f);
+    builder.bindPending();
+    return index;
+}
+
+std::set<std::string>
+identifiersIn(const std::vector<Token> &tokens)
+{
+    std::set<std::string> out;
+    for (const Token &tok : tokens)
+        if (tok.kind == TokenKind::Identifier)
+            out.insert(tok.text);
+    return out;
+}
+
+std::set<std::string>
+calledNames(const std::vector<Token> &tokens)
+{
+    std::set<std::string> out;
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i)
+        if (tokens[i].kind == TokenKind::Identifier &&
+            isPunct(tokens[i + 1], "("))
+            out.insert(tokens[i].text);
+    return out;
+}
+
+} // namespace asd::lint

@@ -35,6 +35,13 @@ struct Diagnostic
     std::string rule;
     Severity severity = Severity::Error;
     std::string message;
+
+    /**
+     * Semantic anchor, e.g. "PhaseDetector::window_" for a member
+     * finding or "writeJson" for a function finding. Empty for plain
+     * token-rule diagnostics; surfaced in the asdlint/v2 report.
+     */
+    std::string symbol;
 };
 
 } // namespace asd::lint

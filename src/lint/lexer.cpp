@@ -116,9 +116,28 @@ class Lexer
             }
             if (!name.empty())
                 sup.rules.push_back(name);
+            // The justification runs from the ')' to the next marker
+            // (or the end of the comment): an optional ':' separator,
+            // then prose, trimmed of whitespace.
+            const std::size_t next = body.find(kMarker, close);
+            std::string_view reason = body.substr(
+                close + 1,
+                (next == std::string_view::npos ? body.size() : next) -
+                    close - 1);
+            while (!reason.empty() &&
+                   (std::isspace(static_cast<unsigned char>(
+                        reason.front())) ||
+                    reason.front() == ':'))
+                reason.remove_prefix(1);
+            while (!reason.empty() &&
+                   (std::isspace(static_cast<unsigned char>(
+                        reason.back())) ||
+                    reason.back() == '/' || reason.back() == '*'))
+                reason.remove_suffix(1);
+            sup.reason = std::string(reason);
             if (!sup.rules.empty())
                 result_.suppressions.push_back(std::move(sup));
-            at = body.find(kMarker, close);
+            at = next;
         }
     }
 
@@ -149,7 +168,12 @@ class Lexer
         scanSuppressions(src_.substr(start, pos_ - start), line);
     }
 
-    /** Quoted literal; the text is collected without the quotes. */
+    /**
+     * Quoted literal with the cursor on the opening quote; the text
+     * is collected without the quotes. Backslash-newline splices are
+     * deleted (phase-2 splicing happens before tokenization), so a
+     * continued string stays one token.
+     */
     void
     quoted(char quote, TokenKind kind)
     {
@@ -157,7 +181,9 @@ class Lexer
         advance(); // opening quote
         std::string text;
         while (!eof() && peek() != quote && peek() != '\n') {
-            if (peek() == '\\' && pos_ + 1 < src_.size()) {
+            if (atSplice()) {
+                skipSplice();
+            } else if (peek() == '\\' && pos_ + 1 < src_.size()) {
                 text += advance();
                 text += advance();
             } else {
@@ -169,17 +195,20 @@ class Lexer
         emit(kind, std::move(text), line);
     }
 
-    /** R"delim( ... )delim" */
+    /**
+     * R"delim( ... )delim" with the cursor on the '"' (any encoding
+     * prefix already consumed). Splices are NOT deleted here: the
+     * standard reverts line splicing inside raw string literals.
+     */
     void
     rawString()
     {
         const std::uint32_t line = line_;
-        advance(); // R
         advance(); // "
         std::string delim;
-        while (!eof() && peek() != '(')
+        while (!eof() && peek() != '(' && peek() != '\n')
             delim += advance();
-        if (!eof())
+        if (!eof() && peek() == '(')
             advance(); // (
         const std::string closer = ")" + delim + "\"";
         std::string text;
@@ -190,11 +219,15 @@ class Lexer
         emit(TokenKind::String, std::move(text), line);
     }
 
+    /**
+     * One preprocessor directive with the introducer ('#' or the
+     * '%:' digraph) already consumed; @p text is seeded with the
+     * canonical '#'.
+     */
     void
-    directive()
+    directive(std::string text)
     {
         const std::uint32_t line = line_;
-        std::string text;
         while (!eof() && peek() != '\n') {
             if (atSplice()) {
                 skipSplice();
@@ -202,6 +235,8 @@ class Lexer
                 continue;
             }
             if (peek() == '/' && peek(1) == '/') {
+                advance();
+                advance();
                 lineComment();
                 break;
             }
@@ -224,6 +259,10 @@ class Lexer
         std::string text;
         text += advance();
         while (!eof()) {
+            if (atSplice()) {
+                skipSplice();
+                continue;
+            }
             const char c = peek();
             if (isIdentChar(c) || c == '.' || c == '\'') {
                 text += advance();
@@ -236,6 +275,53 @@ class Lexer
             }
         }
         emit(TokenKind::Number, std::move(text), line);
+    }
+
+    /** Encoding prefixes that may precede a string literal. */
+    static bool
+    isStringPrefix(std::string_view text)
+    {
+        return text == "u8" || text == "u" || text == "U" ||
+               text == "L";
+    }
+
+    /**
+     * Identifier, or a string/char literal carrying an encoding
+     * prefix (u8"...", LR"(...)", u'x', ...). Splices inside the
+     * identifier are deleted so `sa\<newline>ve` scans as `save`.
+     */
+    void
+    identifierOrPrefixedLiteral()
+    {
+        const std::uint32_t line = line_;
+        std::string text;
+        while (!eof()) {
+            if (atSplice()) {
+                skipSplice();
+                continue;
+            }
+            if (!isIdentChar(peek()))
+                break;
+            text += advance();
+        }
+        if (!eof() && peek() == '"') {
+            const bool raw = !text.empty() && text.back() == 'R';
+            const std::string_view prefix =
+                raw ? std::string_view(text).substr(0, text.size() - 1)
+                    : std::string_view(text);
+            if (prefix.empty() || isStringPrefix(prefix)) {
+                if (raw)
+                    rawString();
+                else
+                    quoted('"', TokenKind::String);
+                return;
+            }
+        }
+        if (!eof() && peek() == '\'' && isStringPrefix(text)) {
+            quoted('\'', TokenKind::CharLit);
+            return;
+        }
+        emit(TokenKind::Identifier, std::move(text), line);
     }
 
     void
@@ -263,11 +349,16 @@ class Lexer
             return;
         }
         if (c == '#') {
-            directive();
+            advance();
+            directive("#");
             return;
         }
-        if (c == 'R' && peek(1) == '"') {
-            rawString();
+        if (c == '%' && peek(1) == ':') {
+            // %: digraph — a directive introducer ('#' everywhere it
+            // can legally appear outside a macro body).
+            advance();
+            advance();
+            directive("#");
             return;
         }
         if (c == '"') {
@@ -285,11 +376,27 @@ class Lexer
             return;
         }
         if (isIdentStart(c)) {
-            const std::uint32_t line = line_;
-            std::string text;
-            while (!eof() && isIdentChar(peek()))
-                text += advance();
-            emit(TokenKind::Identifier, std::move(text), line);
+            identifierOrPrefixedLiteral();
+            return;
+        }
+        // Digraphs map to their primary punctuators so the rules see
+        // one spelling. `<:` keeps the standard's `<::` carve-out:
+        // `vector<::x>` must scan as `<` `::`, not `[:`.
+        if (c == '<' && peek(1) == '%') {
+            emitDigraph("{", 2);
+            return;
+        }
+        if (c == '%' && peek(1) == '>') {
+            emitDigraph("}", 2);
+            return;
+        }
+        if (c == '<' && peek(1) == ':' &&
+            !(peek(2) == ':' && peek(3) != ':' && peek(3) != '>')) {
+            emitDigraph("[", 2);
+            return;
+        }
+        if (c == ':' && peek(1) == '>') {
+            emitDigraph("]", 2);
             return;
         }
         for (const std::string_view punct : kPuncts) {
@@ -303,6 +410,15 @@ class Lexer
         }
         const std::uint32_t line = line_;
         emit(TokenKind::Punct, std::string(1, advance()), line);
+    }
+
+    void
+    emitDigraph(std::string text, std::size_t width)
+    {
+        const std::uint32_t line = line_;
+        for (std::size_t i = 0; i < width; ++i)
+            advance();
+        emit(TokenKind::Punct, std::move(text), line);
     }
 
     std::string_view src_;

@@ -3,10 +3,11 @@
 
 /**
  * @file
- * The asdlint driver: lex a source, run the rule pack, honor
- * `// asdlint:allow(rule)` suppressions, compare against a committed
- * baseline, and render reports (text is the CLI's job; JSON comes
- * from here via common/json).
+ * The asdlint driver: lex the sources, run the per-file token rules
+ * and the cross-TU semantic rules, honor `// asdlint:allow(rule)`
+ * suppressions (semantic rules require a justification), compare
+ * against a committed baseline, and render reports (text is the
+ * CLI's job; JSON comes from here via common/json).
  */
 
 #include <map>
@@ -26,20 +27,52 @@ struct LintOptions
 {
     /** Run only these rules; empty means the whole registry. */
     std::vector<std::string> only_rules;
+
+    /**
+     * Incremental-cache path; empty disables caching. Files whose
+     * content hash is unchanged reuse their token-rule findings;
+     * the semantic findings are reused only when the whole tree is
+     * unchanged (a one-file edit can move cross-TU findings).
+     */
+    std::string cache_path;
+};
+
+/** One in-memory source fed to the linter. */
+struct SourceInput
+{
+    std::string path; //!< repo-relative, forward slashes
+    std::string content;
 };
 
 /**
- * Lint one in-memory source. @p path is the repo-relative path used
- * for path-scoped rules and diagnostics; it need not exist on disk
- * (the unit tests feed fixture strings).
+ * Lint a set of in-memory sources together: token rules per file,
+ * then the semantic rules over the cross-TU declaration index. The
+ * paths need not exist on disk (the unit tests feed fixture
+ * strings). LintOptions::cache_path is ignored here.
+ */
+std::vector<Diagnostic> lintSources(
+    const std::vector<SourceInput> &sources,
+    const LintOptions &options = {});
+
+/**
+ * Lint one in-memory source (a one-element lintSources(); semantic
+ * rules see a single-file tree).
  */
 std::vector<Diagnostic> lintSource(const std::string &path,
                                    std::string_view content,
                                    const LintOptions &options = {});
 
 /**
- * Lint a file on disk. @p display_path is used in diagnostics;
- * @p fs_path is read. Fatal on unreadable files.
+ * Lint files on disk as one tree. Each entry is (display path used
+ * in diagnostics, filesystem path read). Fatal on unreadable files.
+ * Honors LintOptions::cache_path.
+ */
+std::vector<Diagnostic> lintFiles(
+    const std::vector<std::pair<std::string, std::string>> &files,
+    const LintOptions &options = {});
+
+/**
+ * Lint a single file on disk (one-element lintFiles()).
  */
 std::vector<Diagnostic> lintFile(const std::string &display_path,
                                  const std::string &fs_path,
@@ -48,7 +81,10 @@ std::vector<Diagnostic> lintFile(const std::string &display_path,
 /**
  * Recursively collect lintable sources (.hpp/.h/.cpp/.cc) under
  * @p path (file or directory), sorted for deterministic output.
- * Returned paths are filesystem paths.
+ * Returned paths are filesystem paths. Directories named
+ * "lint_fixtures" are pruned during recursion: the lint fixture
+ * corpus contains deliberate violations and is only linted when
+ * named explicitly.
  */
 std::vector<std::string> collectSources(const std::string &path);
 
@@ -81,7 +117,24 @@ std::vector<Diagnostic> aboveBaseline(
     const std::vector<Diagnostic> &diagnostics,
     const BaselineCounts &baseline);
 
-/** JSON report (schema asdlint/v1) for @p diagnostics. */
+/**
+ * New findings in @p fresh relative to @p old, as
+ * `file<TAB>rule<TAB>+delta` lines sorted by path then rule. Empty
+ * when nothing new was introduced (reduced or vanished counts are
+ * not reported — they are improvements, not regressions).
+ */
+std::string formatBaselineDiff(const BaselineCounts &old,
+                               const BaselineCounts &fresh);
+
+/**
+ * Mismatches between @p expected and @p actual counts, in both
+ * directions, as human-readable lines sorted by path then rule.
+ * Empty when the two agree exactly — the fixture-corpus gate.
+ */
+std::string formatExpectMismatch(const BaselineCounts &expected,
+                                 const BaselineCounts &actual);
+
+/** JSON report (schema asdlint/v2) for @p diagnostics. */
 std::string reportJson(const std::vector<Diagnostic> &diagnostics,
                        std::size_t files_scanned);
 

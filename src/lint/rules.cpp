@@ -5,6 +5,8 @@
 #include <cctype>
 #include <string_view>
 
+#include "lint/token_util.hpp"
+
 namespace asd::lint
 {
 
@@ -26,85 +28,6 @@ bool
 containsNoCase(std::string_view haystack, std::string_view needle)
 {
     return toLower(haystack).find(toLower(needle)) != std::string::npos;
-}
-
-bool
-isIdent(const Token &tok, std::string_view text)
-{
-    return tok.kind == TokenKind::Identifier && tok.text == text;
-}
-
-bool
-isPunct(const Token &tok, std::string_view text)
-{
-    return tok.kind == TokenKind::Punct && tok.text == text;
-}
-
-/**
- * @return the quoted path of an `#include "..."` directive, or an
- * empty string for system includes and non-include directives.
- */
-std::string
-quotedInclude(const Token &tok)
-{
-    if (tok.kind != TokenKind::Directive)
-        return {};
-    std::size_t i = 0;
-    const std::string &text = tok.text;
-    auto skipWs = [&] {
-        while (i < text.size() &&
-               std::isspace(static_cast<unsigned char>(text[i])))
-            ++i;
-    };
-    if (i < text.size() && text[i] == '#')
-        ++i;
-    skipWs();
-    if (text.compare(i, 7, "include") != 0)
-        return {};
-    i += 7;
-    skipWs();
-    if (i >= text.size() || text[i] != '"')
-        return {};
-    const std::size_t close = text.find('"', i + 1);
-    if (close == std::string::npos)
-        return {};
-    return text.substr(i + 1, close - i - 1);
-}
-
-/** @return the angle-bracket or quoted path of any include. */
-std::string
-anyInclude(const Token &tok)
-{
-    const std::string quoted = quotedInclude(tok);
-    if (!quoted.empty())
-        return quoted;
-    if (tok.kind != TokenKind::Directive)
-        return {};
-    const std::size_t open = tok.text.find('<');
-    const std::size_t close = tok.text.find('>', open);
-    if (tok.text.find("include") == std::string::npos ||
-        open == std::string::npos || close == std::string::npos)
-        return {};
-    return tok.text.substr(open + 1, close - open - 1);
-}
-
-/**
- * Advance past a balanced token group. @p open_index points at the
- * opening token; returns the index one past the matching closer, or
- * tokens.size() when unbalanced.
- */
-std::size_t
-skipBalanced(const std::vector<Token> &tokens, std::size_t open_index,
-             std::string_view open, std::string_view close)
-{
-    int depth = 0;
-    for (std::size_t i = open_index; i < tokens.size(); ++i) {
-        if (isPunct(tokens[i], open))
-            ++depth;
-        else if (isPunct(tokens[i], close) && --depth == 0)
-            return i + 1;
-    }
-    return tokens.size();
 }
 
 // --- float-in-cost-path --------------------------------------------
@@ -141,148 +64,9 @@ checkFloatInCostPath(const SourceFile &file,
                  "'" + tok.text +
                      "' in a scheduler/DRAM-timing cost path; use "
                      "integer fixed-point (1/8-cycle units) so ties "
-                     "compare exactly"});
+                     "compare exactly",
+                 {}});
         }
-    }
-}
-
-// --- unordered-iteration -------------------------------------------
-
-constexpr std::string_view kUnorderedTypes[] = {
-    "unordered_map",
-    "unordered_set",
-    "unordered_multimap",
-    "unordered_multiset",
-};
-
-constexpr std::string_view kEmittingIncludes[] = {
-    "iostream", "ostream",          "fstream",
-    "cstdio",   "stdio.h",          "common/json.hpp",
-    "common/table.hpp",             "common/stats.hpp",
-    "telemetry/sinks.hpp",
-};
-
-constexpr std::string_view kEmittingIdents[] = {
-    "cout",    "cerr",   "printf", "fprintf",
-    "ofstream", "JsonWriter", "Table",
-};
-
-bool
-isEmittingTu(const SourceFile &file)
-{
-    for (const Token &tok : file.tokens) {
-        const std::string inc = anyInclude(tok);
-        if (!inc.empty()) {
-            for (const std::string_view e : kEmittingIncludes)
-                if (inc == e)
-                    return true;
-        }
-        if (tok.kind == TokenKind::Identifier) {
-            for (const std::string_view e : kEmittingIdents)
-                if (tok.text == e)
-                    return true;
-        }
-    }
-    return false;
-}
-
-void
-checkUnorderedIteration(const SourceFile &file,
-                        std::vector<Diagnostic> &out)
-{
-    if (!isEmittingTu(file))
-        return;
-    const std::vector<Token> &toks = file.tokens;
-
-    // Pass 1: names declared with an unordered container type.
-    std::vector<std::string> containers;
-    for (std::size_t i = 0; i < toks.size(); ++i) {
-        const bool is_unordered = std::any_of(
-            std::begin(kUnorderedTypes), std::end(kUnorderedTypes),
-            [&](std::string_view t) { return isIdent(toks[i], t); });
-        if (!is_unordered || i + 1 >= toks.size() ||
-            !isPunct(toks[i + 1], "<"))
-            continue;
-        std::size_t after = i + 1;
-        int depth = 0;
-        for (; after < toks.size(); ++after) {
-            if (isPunct(toks[after], "<"))
-                ++depth;
-            else if (isPunct(toks[after], ">") && --depth == 0) {
-                ++after;
-                break;
-            }
-        }
-        while (after < toks.size() &&
-               (isPunct(toks[after], "&") || isPunct(toks[after], "*")))
-            ++after;
-        if (after < toks.size() &&
-            toks[after].kind == TokenKind::Identifier)
-            containers.push_back(toks[after].text);
-    }
-    if (containers.empty())
-        return;
-    auto isContainer = [&](const Token &tok) {
-        return tok.kind == TokenKind::Identifier &&
-               std::find(containers.begin(), containers.end(),
-                         tok.text) != containers.end();
-    };
-    auto diagnose = [&](std::uint32_t line, const std::string &name) {
-        out.push_back(
-            {file.path, line, "unordered-iteration", Severity::Error,
-             "iterating unordered container '" + name +
-                 "' in an output-emitting translation unit; hash "
-                 "order is not deterministic — copy to a sorted "
-                 "container first"});
-    };
-
-    // Pass 2a: range-for whose range expression names a container.
-    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
-        if (!isIdent(toks[i], "for") || !isPunct(toks[i + 1], "("))
-            continue;
-        const std::size_t end = skipBalanced(toks, i + 1, "(", ")");
-        // Find the range-for ':' at depth 1 (a ';' first means the
-        // classic three-clause form; a '?' first starts a ternary).
-        int depth = 0;
-        int pending_ternary = 0;
-        std::size_t colon = 0;
-        for (std::size_t j = i + 1; j < end && colon == 0; ++j) {
-            if (isPunct(toks[j], "("))
-                ++depth;
-            else if (isPunct(toks[j], ")"))
-                --depth;
-            else if (depth == 1 && isPunct(toks[j], ";"))
-                break;
-            else if (depth == 1 && isPunct(toks[j], "?"))
-                ++pending_ternary;
-            else if (depth == 1 && isPunct(toks[j], ":")) {
-                if (pending_ternary > 0)
-                    --pending_ternary;
-                else
-                    colon = j;
-            }
-        }
-        if (colon == 0)
-            continue;
-        for (std::size_t j = colon + 1; j + 1 < end; ++j) {
-            if (isContainer(toks[j])) {
-                diagnose(toks[i].line, toks[j].text);
-                break;
-            }
-        }
-    }
-
-    // Pass 2b: explicit iterator walks (name.begin() and friends).
-    constexpr std::string_view kBeginNames[] = {"begin", "cbegin",
-                                                "rbegin", "crbegin"};
-    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
-        if (isContainer(toks[i]) && isPunct(toks[i + 1], ".") &&
-            std::any_of(std::begin(kBeginNames),
-                        std::end(kBeginNames),
-                        [&](std::string_view b) {
-                            return isIdent(toks[i + 2], b);
-                        }))
-            diagnose(toks[i].line, toks[i].text);
     }
 }
 
@@ -310,7 +94,8 @@ checkRawRandom(const SourceFile &file, std::vector<Diagnostic> &out)
                      Severity::Error,
                      "'" + tok.text +
                          "' is not reproducible across platforms; "
-                         "use asd::Rng from common/random"});
+                         "use asd::Rng from common/random",
+                 {}});
                 break;
             }
         }
@@ -382,7 +167,8 @@ checkNarrowingCast(const SourceFile &file,
                      "static_cast narrows '" + toks[j].text +
                          "' to a sub-64-bit integer; use "
                          "asd::narrow<T>() so truncation panics "
-                         "instead of wrapping"});
+                         "instead of wrapping",
+                 {}});
                 break;
             }
         }
@@ -390,38 +176,6 @@ checkNarrowingCast(const SourceFile &file,
 }
 
 // --- layer-include -------------------------------------------------
-
-/**
- * Module layering, lowest first — the add_subdirectory order in
- * src/CMakeLists.txt. A file may include its own layer or lower.
- */
-constexpr std::string_view kLayerOrder[] = {
-    "common", "lint",  "snapshot", "trace",    "vm",
-    "dram",   "cache", "mc",       "core",     "prefetch",
-    "telemetry", "cpu", "workloads", "sim",    "runner",
-    "tuner",  "arena",
-};
-
-int
-layerRank(std::string_view module)
-{
-    for (std::size_t i = 0; i < std::size(kLayerOrder); ++i)
-        if (kLayerOrder[i] == module)
-            return static_cast<int>(i);
-    return -1;
-}
-
-/** @return the first path component after an optional "src/". */
-std::string
-moduleOf(std::string_view path)
-{
-    if (path.rfind("src/", 0) == 0)
-        path.remove_prefix(4);
-    const std::size_t slash = path.find('/');
-    return std::string(
-        slash == std::string_view::npos ? path
-                                        : path.substr(0, slash));
-}
 
 void
 checkLayerInclude(const SourceFile &file,
@@ -443,7 +197,8 @@ checkLayerInclude(const SourceFile &file,
                  "include of \"" + inc + "\" points up the layering (" +
                      moduleOf(file.path) + " -> " + moduleOf(inc) +
                      "); invert the dependency or move the shared "
-                     "piece down"});
+                     "piece down",
+                 {}});
         }
     }
 }
@@ -487,7 +242,8 @@ checkCheckSideEffect(const SourceFile &file,
                      "'" + toks[j].text + "' inside " + toks[i].text +
                          "(...) mutates state; invariant checks must "
                          "be side-effect free (they vanish when "
-                         "checks are off)"});
+                         "checks are off)",
+                 {}});
                 break;
             }
         }
@@ -516,9 +272,6 @@ ruleRegistry()
         {"raw-random", Severity::Error,
          "randomness outside common/random is not reproducible",
          checkRawRandom},
-        {"unordered-iteration", Severity::Error,
-         "no unordered-container iteration in emitting TUs",
-         checkUnorderedIteration},
     };
     return rules;
 }

@@ -10,8 +10,6 @@
  * Rule catalog (see docs/architecture.md for the full rationale):
  *   float-in-cost-path   float/double arithmetic in scheduler and
  *                        DRAM-timing sources (must use fixed-point)
- *   unordered-iteration  iterating an unordered container in a TU
- *                        that emits stats/telemetry/output
  *   raw-random           rand()/std::random_device/mt19937 outside
  *                        common/random (determinism hazard)
  *   narrowing-cast       static_cast of a cycle/address-like value to
@@ -20,6 +18,10 @@
  *                        (e.g. src/core including src/sim)
  *   check-side-effect    ++/--/assignment inside checkThat/assert
  *                        arguments (checks must be side-effect free)
+ *
+ * The cross-TU semantic rules (unordered-iteration and the coverage
+ * rules) live in lint/semantic_rules.hpp — they need the declaration
+ * index, not just one file's tokens.
  */
 
 #include <string>

@@ -1,0 +1,62 @@
+#ifndef ASD_LINT_TOKEN_UTIL_HPP
+#define ASD_LINT_TOKEN_UTIL_HPP
+
+/**
+ * @file
+ * Small token-stream helpers shared by the per-file rule pack
+ * (rules.cpp), the declaration indexer (decl_index.cpp), and the
+ * semantic rules (semantic_rules.cpp).
+ */
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/lexer.hpp"
+
+namespace asd::lint
+{
+
+inline bool
+isIdent(const Token &tok, std::string_view text)
+{
+    return tok.kind == TokenKind::Identifier && tok.text == text;
+}
+
+inline bool
+isPunct(const Token &tok, std::string_view text)
+{
+    return tok.kind == TokenKind::Punct && tok.text == text;
+}
+
+/**
+ * Advance past a balanced token group. @p open_index points at the
+ * opening token; returns the index one past the matching closer, or
+ * tokens.size() when unbalanced.
+ */
+std::size_t skipBalanced(const std::vector<Token> &tokens,
+                         std::size_t open_index, std::string_view open,
+                         std::string_view close);
+
+/**
+ * @return the quoted path of an `#include "..."` directive, or an
+ * empty string for system includes and non-include directives.
+ */
+std::string quotedInclude(const Token &tok);
+
+/** @return the angle-bracket or quoted path of any include. */
+std::string anyInclude(const Token &tok);
+
+/**
+ * Module layering rank of @p module (first path component after an
+ * optional "src/"), lowest layer first; -1 for unknown modules.
+ */
+int layerRank(std::string_view module);
+
+/** @return the first path component after an optional "src/". */
+std::string moduleOf(std::string_view path);
+
+} // namespace asd::lint
+
+#endif // ASD_LINT_TOKEN_UTIL_HPP

@@ -67,6 +67,7 @@ struct RunOptions
     VmConfig vm;
 
     /** Per-epoch telemetry recorder (off by default). */
+    // asdlint:allow(serialize-coverage): observational only; serializing it would perturb every existing options JSON and config hash
     TelemetryConfig telemetry;
 
     /** Phase-adaptive tuner (off by default => byte-identical). */

@@ -135,13 +135,16 @@ class SyntheticTraceGenerator : public TraceSource
     SyntheticConfig config_;
     Rng rng_;
     std::vector<LiveStream> streams_;
+    // asdlint:allow(snapshot-field-coverage): samplers are stateless weight tables derived from config_ in the constructor
     std::vector<DiscreteSampler> phase_samplers_;
+    // asdlint:allow(snapshot-field-coverage): see phase_samplers_
     std::unique_ptr<DiscreteSampler> stride_sampler_;
     std::vector<LineAddr> recent_lines_; //!< reuse pool (ring buffer)
     std::size_t recent_pos_ = 0;
     std::size_t phase_idx_ = 0;
     std::uint64_t phase_left_ = 0;
     std::uint64_t emitted_ = 0;
+    // asdlint:allow(snapshot-field-coverage): derived from config_ (working-set bytes / line bytes) in the constructor
     std::uint64_t ws_lines_ = 0;
 };
 

@@ -79,6 +79,7 @@ class FileTraceSource : public TraceSource
     void refill();
 
     TraceReadMode mode_;
+    // asdlint:allow(snapshot-field-coverage): ctor configuration; loadState only re-reads the trace the path points at
     std::string path_;
     std::size_t total_ = 0;
 

@@ -73,6 +73,7 @@ class VectorTraceSource : public TraceSource
     }
 
   private:
+    // asdlint:allow(snapshot-field-coverage): trace content is input configuration; only the cursor pos_ is dynamic state
     std::vector<MemAccess> accesses_;
     std::size_t pos_ = 0;
 };

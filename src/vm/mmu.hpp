@@ -50,6 +50,7 @@ class Mmu : public Snapshottable
 
   private:
     VmConfig config_;
+    // asdlint:allow(snapshot-field-coverage): effective granule derived from config_ in the constructor
     std::uint64_t page_bytes_; //!< translation granule
     PageTable table_;
     Tlb tlb_;

@@ -44,6 +44,7 @@ class PageTable : public Snapshottable
 
   private:
     FrameAllocator &allocator_;
+    // asdlint:allow(snapshot-field-coverage): thread id is wiring configuration fixed at construction, never dynamic state
     std::uint32_t thread_;
     std::unordered_map<std::uint64_t, std::uint64_t> map_;
     Counter pages_mapped_;

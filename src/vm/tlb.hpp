@@ -69,6 +69,7 @@ class Tlb : public Snapshottable
     const Entry *find(std::uint64_t vpn) const;
 
     TlbConfig config_;
+    // asdlint:allow(snapshot-field-coverage): geometry (entries / ways) derived from config_ in the constructor
     std::uint64_t sets_ = 1;
     std::vector<Entry> entries_; //!< sets x ways, row-major
     std::uint64_t clock_ = 0;

@@ -1,0 +1,39 @@
+#ifndef FIXTURE_SNAPSHOT_BAD_HPP
+#define FIXTURE_SNAPSHOT_BAD_HPP
+
+// True positives for snapshot-field-coverage: one member per
+// asymmetry message, plus a reason-less allow that must stay inert
+// (the member still fires) and raise allow-missing-reason.
+
+namespace fix
+{
+
+class LeakyDetector : public Snapshottable
+{
+  public:
+    void
+    saveState(SnapshotWriter &w) const override
+    {
+        w.u64(hits_);
+        w.u64(stale_);
+    }
+
+    void
+    loadState(SnapshotReader &r) override
+    {
+        hits_ = r.u64();
+        misses_ = r.u64();
+    }
+
+  private:
+    unsigned long hits_ = 0;   // covered: no finding
+    unsigned long misses_ = 0; // restored but never saved
+    unsigned long stale_ = 0;  // saved but never restored
+    unsigned long window_ = 0; // neither saved nor restored
+    // asdlint:allow(snapshot-field-coverage)
+    unsigned long scratch_ = 0; // reason-less allow: inert + flagged
+};
+
+} // namespace fix
+
+#endif // FIXTURE_SNAPSHOT_BAD_HPP

@@ -1,0 +1,56 @@
+#ifndef FIXTURE_OPTIONS_HPP
+#define FIXTURE_OPTIONS_HPP
+
+// serialize-coverage and jobid-plumbing fixtures. The record names
+// (RunOptions, RunMetrics) and serializer names (writeJson,
+// metricsFromJson, makeJobId) match the binding table in
+// semantic_rules.cpp, so the rules treat this mini-tree exactly like
+// the real one.
+
+namespace fix
+{
+
+struct RunOptions
+{
+    unsigned long accesses = 0; // serialized and in the job id
+    unsigned int threads = 1;   // serialized but missing from makeJobId
+    bool debug_dump = false;    // never serialized: serialize-coverage
+};
+
+struct RunMetrics
+{
+    unsigned long instructions = 0; // round-trips: no finding
+    unsigned long cycles = 0;       // written but never restored
+};
+
+inline void
+writeJson(JsonWriter &json, const RunOptions &options)
+{
+    json.field("accesses", options.accesses);
+    json.field("threads", options.threads);
+}
+
+inline void
+writeJson(JsonWriter &json, const RunMetrics &metrics)
+{
+    json.field("instructions", metrics.instructions);
+    json.field("cycles", metrics.cycles);
+}
+
+inline RunMetrics
+metricsFromJson(const JsonValue &value)
+{
+    RunMetrics metrics;
+    metrics.instructions = value.u64("instructions");
+    return metrics;
+}
+
+inline unsigned long
+makeJobId(const RunOptions &options)
+{
+    return mixHash(options.accesses);
+}
+
+} // namespace fix
+
+#endif // FIXTURE_OPTIONS_HPP

@@ -1,0 +1,26 @@
+// True positives for wall-clock-and-env: this file sits in the
+// deterministic 'sim' layer, so every clock or environment read below
+// must fire.
+
+namespace fix
+{
+
+unsigned long
+stampEpoch()
+{
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+const char *
+scaleOverride()
+{
+    return std::getenv("FIX_SCALE");
+}
+
+long
+seedFromClock()
+{
+    return time(nullptr);
+}
+
+} // namespace fix

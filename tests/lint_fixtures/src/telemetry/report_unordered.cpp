@@ -1,0 +1,31 @@
+// Flow-aware unordered-iteration fixtures. dumpTable() must fire: its
+// iteration feeds printRow(), which writes to stdout, so hash-map
+// order leaks into user-visible output. sumTable() must NOT fire: the
+// same iteration only accumulates, and addition is order-insensitive.
+
+namespace fix
+{
+
+void
+printRow(const Row &row)
+{
+    std::cout << row.name << " " << row.weight << "\n";
+}
+
+void
+dumpTable(const std::unordered_map<unsigned long, Row> &rows)
+{
+    for (const auto &entry : rows)
+        printRow(entry.second);
+}
+
+unsigned long
+sumTable(const std::unordered_map<unsigned long, Row> &rows)
+{
+    unsigned long total = 0;
+    for (const auto &entry : rows)
+        total += entry.second.weight;
+    return total;
+}
+
+} // namespace fix

@@ -1,0 +1,20 @@
+// True negative for wall-clock-and-env: the same calls as
+// src/sim/wallclock_bad.cpp, but tools/ is not a deterministic layer
+// (CLIs may time themselves and read the environment). Zero findings.
+
+namespace fix
+{
+
+unsigned long
+wallElapsed()
+{
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+const char *
+threadOverride()
+{
+    return std::getenv("FIX_THREADS");
+}
+
+} // namespace fix

@@ -1,14 +1,18 @@
 /**
  * @file
  * asdlint — the project's static-analysis gate. Lints C++ sources
- * with the rule pack in src/lint/rules.cpp and fails (exit 1) on any
- * unsuppressed violation not covered by the committed baseline.
+ * with the per-file token rules (src/lint/rules.cpp) and the
+ * cross-TU semantic rules (src/lint/semantic_rules.cpp) and fails
+ * (exit 1) on any unsuppressed violation not covered by the
+ * committed baseline.
  *
  * Examples:
  *   asdlint src bench examples tests
  *   asdlint --baseline tools/asdlint_baseline.txt src
  *   asdlint --rule raw-random --json report.json src
  *   asdlint --write-baseline tools/asdlint_baseline.txt src bench
+ *   asdlint --expect tests/lint_fixtures/expected.txt tests/lint_fixtures
+ *   asdlint --diff-baseline old_baseline.txt new_baseline.txt
  */
 
 #include <cstdio>
@@ -20,6 +24,7 @@
 
 #include "common/log.hpp"
 #include "lint/linter.hpp"
+#include "lint/semantic_rules.hpp"
 
 namespace
 {
@@ -34,6 +39,9 @@ struct CliArgs
     std::string json_path;
     std::string baseline_path;
     std::string write_baseline_path;
+    std::string expect_path;
+    std::string diff_old_path;
+    std::string diff_new_path;
     LintOptions lint;
     bool list_rules = false;
     bool quiet = false;
@@ -44,20 +52,33 @@ usage(int code)
 {
     std::cout <<
         "usage: asdlint [options] <file-or-dir>...\n"
+        "       asdlint --diff-baseline OLD NEW\n"
         "  --root DIR            resolve paths and report them\n"
         "                        relative to DIR (default: cwd)\n"
         "  --baseline PATH       tolerate violations recorded in\n"
         "                        PATH; only new ones fail\n"
         "  --write-baseline PATH snapshot current violations and\n"
         "                        exit 0\n"
-        "  --json PATH           write a JSON report (asdlint/v1)\n"
+        "  --diff-baseline OLD NEW\n"
+        "                        print findings NEW introduces over\n"
+        "                        OLD (file/rule/+count) and exit;\n"
+        "                        nonzero when anything is new\n"
+        "  --expect PATH         require the findings to match the\n"
+        "                        (file, rule, count) table in PATH\n"
+        "                        exactly, in both directions\n"
+        "  --cache PATH          reuse findings for unchanged files\n"
+        "                        (semantic findings recompute unless\n"
+        "                        the whole tree is unchanged)\n"
+        "  --json PATH           write a JSON report (asdlint/v2)\n"
         "  --rule NAME           run only rule NAME (repeatable)\n"
         "  --list-rules          print the rule catalog and exit\n"
         "  --quiet               suppress per-diagnostic output\n"
         "  --help                this text\n"
         "\n"
         "Suppress a finding in source with a trailing or preceding\n"
-        "comment: // asdlint:allow(rule-name)  or  asdlint:allow(*)\n";
+        "comment: // asdlint:allow(rule-name)  or  asdlint:allow(*)\n"
+        "Semantic rules need a justification after the parenthesis:\n"
+        "// asdlint:allow(snapshot-field-coverage): why it is safe\n";
     std::exit(code);
 }
 
@@ -81,6 +102,13 @@ parseArgs(int argc, char **argv)
             args.baseline_path = next();
         else if (tok == "--write-baseline")
             args.write_baseline_path = next();
+        else if (tok == "--diff-baseline") {
+            args.diff_old_path = next();
+            args.diff_new_path = next();
+        } else if (tok == "--expect")
+            args.expect_path = next();
+        else if (tok == "--cache")
+            args.lint.cache_path = next();
         else if (tok == "--json")
             args.json_path = next();
         else if (tok == "--rule")
@@ -101,7 +129,10 @@ void
 listRules()
 {
     for (const Rule &rule : ruleRegistry())
-        std::printf("%-20s %-8s %s\n", rule.name.c_str(),
+        std::printf("%-24s %-8s %s\n", rule.name.c_str(),
+                    severityName(rule.severity), rule.summary.c_str());
+    for (const SemanticRule &rule : semanticRuleRegistry())
+        std::printf("%-24s %-8s %s\n", rule.name.c_str(),
                     severityName(rule.severity), rule.summary.c_str());
 }
 
@@ -127,31 +158,37 @@ main(int argc, char **argv)
         listRules();
         return 0;
     }
+    if (!args.diff_old_path.empty()) {
+        const std::string diff =
+            formatBaselineDiff(loadBaseline(args.diff_old_path),
+                               loadBaseline(args.diff_new_path));
+        std::fputs(diff.c_str(), stdout);
+        return diff.empty() ? 0 : 1;
+    }
     if (args.paths.empty())
         usage(1);
     for (const std::string &name : args.lint.only_rules)
-        if (!findRule(name))
+        if (!findRule(name) && !findSemanticRule(name))
             fatal("unknown rule: " + name + " (try --list-rules)");
 
     const std::filesystem::path root =
         args.root.empty() ? std::filesystem::current_path()
                           : std::filesystem::path(args.root);
 
-    std::vector<Diagnostic> diagnostics;
-    std::size_t files_scanned = 0;
+    // Collect the whole tree first: the semantic rules are cross-TU,
+    // so every file must be in one lintFiles() call.
+    std::vector<std::pair<std::string, std::string>> files;
     for (const std::string &path : args.paths) {
         const std::string resolved =
             std::filesystem::path(path).is_absolute()
                 ? path
                 : (root / path).generic_string();
-        for (const std::string &file : collectSources(resolved)) {
-            ++files_scanned;
-            const auto found =
-                lintFile(displayPath(root, file), file, args.lint);
-            diagnostics.insert(diagnostics.end(), found.begin(),
-                               found.end());
-        }
+        for (const std::string &file : collectSources(resolved))
+            files.emplace_back(displayPath(root, file), file);
     }
+    const std::size_t files_scanned = files.size();
+    const std::vector<Diagnostic> diagnostics =
+        lintFiles(files, args.lint);
 
     if (!args.write_baseline_path.empty()) {
         std::ofstream out(args.write_baseline_path,
@@ -163,6 +200,24 @@ main(int argc, char **argv)
         inform("asdlint: baseline written to " +
                args.write_baseline_path + " (" +
                std::to_string(diagnostics.size()) + " findings)");
+        return 0;
+    }
+
+    if (!args.expect_path.empty()) {
+        const std::string mismatch =
+            formatExpectMismatch(loadBaseline(args.expect_path),
+                                 countByFileRule(diagnostics));
+        if (!mismatch.empty()) {
+            std::fprintf(stderr,
+                         "asdlint: findings differ from %s:\n%s",
+                         args.expect_path.c_str(), mismatch.c_str());
+            return 1;
+        }
+        std::fprintf(stderr,
+                     "asdlint: %zu file%s scanned, findings match "
+                     "%s\n",
+                     files_scanned, files_scanned == 1 ? "" : "s",
+                     args.expect_path.c_str());
         return 0;
     }
 

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# The lint_semantic_smoke ctest body: two legs, both must pass.
+#
+#   1. The real tree is baseline-clean — token rules AND the cross-TU
+#      semantic rules (snapshot/serialize/job-id coverage, wall-clock
+#      bans, flow-aware unordered iteration) report zero unsuppressed
+#      findings.
+#   2. The fixture corpus under tests/lint_fixtures/ produces exactly
+#      the findings pinned in expected.txt, checked in both
+#      directions: a new finding fails, and a fixture that stops
+#      firing fails too (a silently-dead rule is also a regression).
+#
+# Usage: lint_semantic_smoke.sh <asdlint-binary> <repo-root>
+set -euo pipefail
+
+ASDLINT=$1
+ROOT=$2
+
+"$ASDLINT" --root "$ROOT" src bench examples tests tools
+
+"$ASDLINT" --root "$ROOT/tests/lint_fixtures" \
+    --expect "$ROOT/tests/lint_fixtures/expected.txt" \
+    src tools

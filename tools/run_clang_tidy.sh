@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # clang-tidy wrapper for the checks pinned in .clang-tidy. Degrades
 # gracefully: when clang-tidy is not installed this prints a notice
-# and exits 0 so CI recipes can call it unconditionally.
+# and exits 77 — the conventional "skipped" exit code, which the
+# clang_tidy_smoke ctest maps to SKIPPED via SKIP_RETURN_CODE so a
+# missing tool is visible in the test report instead of silently
+# counting as a pass.
 #
 # Usage:
 #   tools/run_clang_tidy.sh [build-dir] [source files...]
@@ -29,7 +32,7 @@ fi
 if [ -z "$TIDY" ]; then
     echo "run_clang_tidy: clang-tidy not found; skipping" \
          "(install clang-tidy or set CLANG_TIDY=/path/to/it)" >&2
-    exit 0
+    exit 77
 fi
 
 if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
