@@ -9,7 +9,7 @@
  *
  * Usage:
  *   asdbakeoff [--suites spec,nas,commercial] [--bench NAME]...
- *              [--prefetchers asd,dspatch,...] [--vm]
+ *              [--prefetchers asd,dspatch,...] [--vm] [--os]
  *              [--accesses N] [--warm-start CYCLES] [--threads N]
  *              [--out DIR] [--resume] [--list] [--quiet]
  */
@@ -53,6 +53,10 @@ usage()
            "                      see --list)\n"
            "  --vm                also run every workload with 4 KiB "
            "random-placement VM\n"
+           "  --os                also run every workload under the "
+           "OS memory model\n"
+           "                      (demand paging, finite frames, "
+           "CLOCK reclaim)\n"
            "  --accesses N        per-benchmark trace-length "
            "override\n"
            "  --warm-start CYCLES warm-up cycles shared across "
@@ -144,6 +148,8 @@ parseArgs(int argc, char **argv)
             cli.bakeoff.prefetchers = splitCommas(next(i, arg));
         } else if (arg == "--vm") {
             cli.bakeoff.vm_axis = true;
+        } else if (arg == "--os") {
+            cli.bakeoff.os_axis = true;
         } else if (arg == "--accesses") {
             cli.bakeoff.accesses = parseU64(next(i, arg), arg);
         } else if (arg == "--warm-start") {

@@ -85,6 +85,35 @@ usage()
         "  --vm-tlb-ways N        TLB associativity (default 4)\n"
         "  --vm-walk-cycles N     page-walk stall (default 60)\n"
         "  --vm-seed N            frame-shuffle seed\n"
+        "  --os                   enable the OS memory model (demand\n"
+        "                         paging over a finite frame pool with\n"
+        "                         CLOCK reclaim; excludes --vm-policy)\n"
+        "  --os-frames N          physical frames in the pool\n"
+        "                         (default 16384)\n"
+        "  --os-minor-cycles N    minor page-fault stall (default 800)\n"
+        "  --os-major-cycles N    major page-fault stall\n"
+        "                         (default 20000)\n"
+        "  --os-major-frac F      fraction of faults that are major\n"
+        "                         (default 0.02)\n"
+        "  --os-reclaim-cycles N  CLOCK reclaim stall (default 300)\n"
+        "  --os-writeback-cycles N\n"
+        "                         dirty-victim writeback stall\n"
+        "                         (default 2000)\n"
+        "  --os-walker radix|hashed\n"
+        "                         page-table walker style (default\n"
+        "                         radix)\n"
+        "  --os-probe-cycles N    hashed-walker per-probe stall\n"
+        "                         (default 20)\n"
+        "  --os-seed N            fault/frame-shuffle seed\n"
+        "  --tenants N            interleave N tenants of the chosen\n"
+        "                         benchmark (multi-tenant scenario\n"
+        "                         engine; incompatible with --smt)\n"
+        "  --tenants-zipf F       Zipf exponent of the per-tenant\n"
+        "                         intensity skew (default 1.0)\n"
+        "  --tenants-lifetime N   mean tenant lifetime in accesses\n"
+        "                         before departure (0 = immortal;\n"
+        "                         default 50000)\n"
+        "  --tenants-seed N       slot/lifetime draw seed\n"
         "  --accesses N           trace length override\n"
         "  --smt                  co-run two copies (SMT pair)\n"
         "  --csv                  emit one CSV row instead of a table\n"
@@ -260,6 +289,52 @@ parseArgs(int argc, char **argv)
         } else if (tok == "--vm-seed") {
             args.options.vm.seed = static_cast<std::uint64_t>(
                 std::atoll(next().c_str()));
+        } else if (tok == "--os") {
+            args.options.os.enabled = true;
+        } else if (tok == "--os-frames") {
+            args.options.os.frames = static_cast<std::uint64_t>(
+                std::atoll(next().c_str()));
+        } else if (tok == "--os-minor-cycles") {
+            args.options.os.minor_fault_cycles =
+                static_cast<Cycles>(std::atoll(next().c_str()));
+        } else if (tok == "--os-major-cycles") {
+            args.options.os.major_fault_cycles =
+                static_cast<Cycles>(std::atoll(next().c_str()));
+        } else if (tok == "--os-major-frac") {
+            args.options.os.major_fault_frac =
+                std::atof(next().c_str());
+        } else if (tok == "--os-reclaim-cycles") {
+            args.options.os.reclaim_cycles =
+                static_cast<Cycles>(std::atoll(next().c_str()));
+        } else if (tok == "--os-writeback-cycles") {
+            args.options.os.writeback_cycles =
+                static_cast<Cycles>(std::atoll(next().c_str()));
+        } else if (tok == "--os-walker") {
+            const std::string v = next();
+            const auto walker = parsePageWalkerKind(v);
+            if (!walker)
+                fatal("unknown --os-walker (use radix|hashed): " + v);
+            args.options.vm.walker = *walker;
+        } else if (tok == "--os-probe-cycles") {
+            args.options.os.hashed_probe_cycles =
+                static_cast<Cycles>(std::atoll(next().c_str()));
+        } else if (tok == "--os-seed") {
+            args.options.os.seed = static_cast<std::uint64_t>(
+                std::atoll(next().c_str()));
+        } else if (tok == "--tenants") {
+            args.options.tenants.enabled = true;
+            args.options.tenants.slots =
+                static_cast<std::uint32_t>(std::atoi(next().c_str()));
+            if (args.options.tenants.slots == 0)
+                fatal("--tenants expects at least one slot");
+        } else if (tok == "--tenants-zipf") {
+            args.options.tenants.zipf_s = std::atof(next().c_str());
+        } else if (tok == "--tenants-lifetime") {
+            args.options.tenants.mean_lifetime =
+                static_cast<std::uint64_t>(std::atoll(next().c_str()));
+        } else if (tok == "--tenants-seed") {
+            args.options.tenants.seed = static_cast<std::uint64_t>(
+                std::atoll(next().c_str()));
         } else if (tok == "--accesses") {
             args.options.accesses = static_cast<std::uint64_t>(
                 std::atoll(next().c_str()));
@@ -350,6 +425,23 @@ parseArgs(int argc, char **argv)
     return args;
 }
 
+/**
+ * Wire the mix's arrival/departure counters into the telemetry
+ * recorder. Every path that builds a tenant System must do this
+ * before running (or restoring), or its epoch records would disagree
+ * with an uninterrupted run's.
+ */
+void
+installTenantProbe(System &system, const TenantMixSource &mix)
+{
+    system.setTenantProbe([&mix]() {
+        TenantTelemetrySample sample;
+        sample.arrivals = mix.arrivals();
+        sample.departures = mix.departures();
+        return sample;
+    });
+}
+
 void
 listBenchmarks()
 {
@@ -391,6 +483,16 @@ saveSnapshotRun(const CliArgs &args)
         run.runUntil(args.save_cycle);
         run.saveSnapshot(writer);
         saved_at = run.system().nowCycle();
+    } else if (args.options.tenants.enabled) {
+        SyntheticConfig trace_config = bench.trace;
+        trace_config.total_accesses = accesses;
+        TenantMixSource mix(args.options.tenants, trace_config,
+                            accesses);
+        System system(makeSystemConfig(args.options), {&mix});
+        installTenantProbe(system, mix);
+        system.runUntil(args.save_cycle);
+        system.saveSnapshot(writer);
+        saved_at = system.nowCycle();
     } else {
         SyntheticConfig trace_config = bench.trace;
         trace_config.total_accesses = accesses;
@@ -457,6 +559,25 @@ loadSnapshotRun(const CliArgs &args, std::string &bench_name,
 
         SyntheticConfig trace_config = bench.trace;
         trace_config.total_accesses = accesses;
+        if (options.tenants.enabled) {
+            TenantMixSource mix(options.tenants, trace_config,
+                                accesses);
+            System system(makeSystemConfig(options), {&mix});
+            installTenantProbe(system, mix);
+            system.loadSnapshot(reader);
+            std::cerr << "asdsim_cli: restored " << bench_name
+                      << " at cycle " << system.nowCycle() << " from "
+                      << args.load_path << "\n";
+            system.runUntil(kNoCycle);
+            if (system.telemetry())
+                epochs = system.telemetry()->records();
+            RunMetrics m = system.collectMetrics();
+            m.tenants_enabled = true;
+            m.tenant_arrivals = mix.arrivals();
+            m.tenant_departures = mix.departures();
+            m.tenant_active = mix.activeTenants();
+            return m;
+        }
         SyntheticTraceGenerator trace(trace_config);
         System system(makeSystemConfig(options), {&trace});
         system.loadSnapshot(reader);
@@ -501,6 +622,12 @@ main(int argc, char **argv)
     }
     if (args.options.tuner.enabled && args.smt)
         fatal("--tune cannot be combined with --smt");
+    if (args.options.tenants.enabled && args.smt)
+        fatal("--tenants cannot be combined with --smt (the mix is "
+              "one interleaved trace)");
+    if (args.options.os.enabled && args.options.vm.enabled)
+        fatal("--os and --vm-policy are mutually exclusive (the OS "
+              "model replaces the VM layer's infinite allocators)");
     if (!args.save_path.empty() && !args.load_path.empty())
         fatal("--save-snapshot and --load-snapshot are mutually "
               "exclusive");
@@ -573,6 +700,19 @@ main(int argc, char **argv)
                       << "," << m.page_walk_cycles << ","
                       << m.pages_mapped;
         }
+        if (m.os_enabled) {
+            std::cout << "," << m.tlb_hits << "," << m.tlb_misses
+                      << "," << m.os_minor_faults << ","
+                      << m.os_major_faults << "," << m.os_reclaims
+                      << "," << m.os_writebacks << ","
+                      << m.os_shootdowns << "," << m.os_stall_cycles
+                      << "," << m.os_resident_pages;
+        }
+        if (m.tenants_enabled) {
+            std::cout << "," << m.tenant_active << ","
+                      << m.tenant_arrivals << ","
+                      << m.tenant_departures;
+        }
         std::cout << "\n";
         return 0;
     }
@@ -598,6 +738,31 @@ main(int argc, char **argv)
         table.addRow({"page_walk_cycles",
                       std::to_string(m.page_walk_cycles)});
         table.addRow({"pages_mapped", std::to_string(m.pages_mapped)});
+    }
+    if (m.os_enabled) {
+        table.addRow({"tlb_hits", std::to_string(m.tlb_hits)});
+        table.addRow({"tlb_misses", std::to_string(m.tlb_misses)});
+        table.addRow(
+            {"os_minor_faults", std::to_string(m.os_minor_faults)});
+        table.addRow(
+            {"os_major_faults", std::to_string(m.os_major_faults)});
+        table.addRow({"os_reclaims", std::to_string(m.os_reclaims)});
+        table.addRow(
+            {"os_writebacks", std::to_string(m.os_writebacks)});
+        table.addRow(
+            {"os_shootdowns", std::to_string(m.os_shootdowns)});
+        table.addRow(
+            {"os_stall_cycles", std::to_string(m.os_stall_cycles)});
+        table.addRow({"os_resident_pages",
+                      std::to_string(m.os_resident_pages)});
+    }
+    if (m.tenants_enabled) {
+        table.addRow(
+            {"tenant_active", std::to_string(m.tenant_active)});
+        table.addRow(
+            {"tenant_arrivals", std::to_string(m.tenant_arrivals)});
+        table.addRow({"tenant_departures",
+                      std::to_string(m.tenant_departures)});
     }
     table.print(std::cout);
     return 0;

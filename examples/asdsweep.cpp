@@ -53,6 +53,15 @@ struct CliConfig
     /** VM axis: nullopt = VM off for that grid point. */
     std::vector<std::optional<FrameAllocPolicy>> vm_policies;
     std::vector<std::uint64_t> vm_page_bytes;
+
+    /** OS axis: nullopt = OS model off, value = frame-pool size. */
+    std::vector<std::optional<std::uint64_t>> os_frames;
+
+    /** Walker axis; only expanded for OS-enabled grid points. */
+    std::vector<PageWalkerKind> os_walkers;
+
+    /** Tenant axis: nullopt = single tenant, value = mix slots. */
+    std::vector<std::optional<std::uint32_t>> tenant_slots;
     std::optional<std::uint64_t> accesses;
     std::optional<std::uint64_t> seed;
     unsigned threads = 0;
@@ -98,6 +107,16 @@ usage()
            "  --vm-page-bytes LIST\n"
            "                      base page sizes (default 4096; "
            "ignored for off/huge)\n"
+           "  --os-frames LIST    off or frame-pool sizes; a size "
+           "enables the OS\n"
+           "                      memory model for that grid point "
+           "(default off)\n"
+           "  --os-walkers LIST   radix,hashed page-table walkers "
+           "(default radix;\n"
+           "                      expanded only for OS-enabled "
+           "points)\n"
+           "  --tenants LIST      off or tenant-mix slot counts "
+           "(default off)\n"
            "  --accesses N        per-benchmark trace-length "
            "override\n"
            "  --seed N            trace-seed override for every job\n"
@@ -237,6 +256,42 @@ parseArgs(int argc, char **argv)
             }
             if (cli.vm_page_bytes.empty())
                 fatal("empty list for " + arg);
+        } else if (arg == "--os-frames") {
+            for (const std::string &p : splitCommas(next(i, arg))) {
+                if (p == "off") {
+                    cli.os_frames.push_back(std::nullopt);
+                    continue;
+                }
+                const std::uint64_t v = parseU64(p, arg);
+                if (v == 0 || v > (1ULL << 32))
+                    fatal("out-of-range value for " + arg + ": " + p);
+                cli.os_frames.push_back(v);
+            }
+            if (cli.os_frames.empty())
+                fatal("empty list for " + arg);
+        } else if (arg == "--os-walkers") {
+            for (const std::string &p : splitCommas(next(i, arg))) {
+                const auto walker = parsePageWalkerKind(p);
+                if (!walker)
+                    fatal("unknown walker (use radix|hashed): " + p);
+                cli.os_walkers.push_back(*walker);
+            }
+            if (cli.os_walkers.empty())
+                fatal("empty list for " + arg);
+        } else if (arg == "--tenants") {
+            for (const std::string &p : splitCommas(next(i, arg))) {
+                if (p == "off") {
+                    cli.tenant_slots.push_back(std::nullopt);
+                    continue;
+                }
+                const std::uint64_t v = parseU64(p, arg);
+                if (v == 0 || v > 1024)
+                    fatal("out-of-range value for " + arg + ": " + p);
+                cli.tenant_slots.push_back(
+                    static_cast<std::uint32_t>(v));
+            }
+            if (cli.tenant_slots.empty())
+                fatal("empty list for " + arg);
         } else if (arg == "--accesses") {
             cli.accesses = parseU64(next(i, arg), arg);
         } else if (arg == "--seed") {
@@ -285,6 +340,12 @@ parseArgs(int argc, char **argv)
         cli.vm_policies = {std::nullopt};
     if (cli.vm_page_bytes.empty())
         cli.vm_page_bytes = {4096};
+    if (cli.os_frames.empty())
+        cli.os_frames = {std::nullopt};
+    if (cli.os_walkers.empty())
+        cli.os_walkers = {PageWalkerKind::Radix};
+    if (cli.tenant_slots.empty())
+        cli.tenant_slots = {std::nullopt};
     if (cli.suites.empty() && cli.bench_names.empty())
         cli.suites = {"detailed"};
     return cli;
@@ -396,6 +457,23 @@ buildJobs(const CliConfig &cli)
                                         : 1;
                                 for (std::size_t pi = 0;
                                      pi < n_pages; ++pi) {
+                                  for (const auto &os :
+                                       cli.os_frames) {
+                                    // The OS model replaces the VM
+                                    // layer's allocators; skip the
+                                    // contradictory grid points.
+                                    if (os && vm)
+                                        continue;
+                                    // Walkers only differentiate
+                                    // OS-enabled machines; collapse
+                                    // the axis otherwise.
+                                    const std::size_t n_walkers =
+                                        os ? cli.os_walkers.size()
+                                           : 1;
+                                    for (std::size_t wi = 0;
+                                         wi < n_walkers; ++wi) {
+                                     for (const auto &tenants :
+                                          cli.tenant_slots) {
                                     RunOptions options;
                                     options.mode = mode;
                                     options.mc_prefetcher = kind;
@@ -411,6 +489,18 @@ buildJobs(const CliConfig &cli)
                                         if (vary_pages)
                                             options.vm.page_bytes =
                                                 cli.vm_page_bytes[pi];
+                                    }
+                                    if (os) {
+                                        options.os.enabled = true;
+                                        options.os.frames = *os;
+                                        options.vm.walker =
+                                            cli.os_walkers[wi];
+                                    }
+                                    if (tenants) {
+                                        options.tenants.enabled =
+                                            true;
+                                        options.tenants.slots =
+                                            *tenants;
                                     }
                                     if (cli.telemetry &&
                                         kind ==
@@ -443,6 +533,9 @@ buildJobs(const CliConfig &cli)
                                         jobs.push_back(
                                             std::move(tuned_job));
                                     }
+                                     }
+                                    }
+                                  }
                                 }
                             }
                         }

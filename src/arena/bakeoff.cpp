@@ -89,6 +89,19 @@ BakeoffRunner::BakeoffRunner(BakeoffOptions options)
             workloads_.push_back(std::move(vm_workload));
         }
     }
+    if (options_.os_axis) {
+        // Duplicate only the plain workloads: VM and OS are mutually
+        // exclusive machine configurations.
+        const std::size_t base = workloads_.size();
+        for (std::size_t i = 0; i < base; ++i) {
+            if (workloads_[i].vm)
+                continue;
+            BakeoffWorkload os_workload = workloads_[i];
+            os_workload.label += "+os";
+            os_workload.os = true;
+            workloads_.push_back(std::move(os_workload));
+        }
+    }
     panicIfNot(!workloads_.empty(),
                "BakeoffRunner: empty workload grid (no suites and no "
                "benchmarks)");
@@ -124,6 +137,12 @@ BakeoffRunner::workloadOptions(const BakeoffWorkload &workload,
         // prefetchers lose cross-page streams.
         out.vm.enabled = true;
         out.vm.policy = FrameAllocPolicy::RandomShuffle;
+    }
+    if (workload.os) {
+        // The bake-off's OS setting is the OsConfig default: demand
+        // paging over a finite frame pool with CLOCK reclaim. Every
+        // contender faces the same fault/reclaim stall pattern.
+        out.os.enabled = true;
     }
     return out;
 }

@@ -27,16 +27,19 @@
 namespace asd
 {
 
-/** One competition setting: a benchmark, optionally under VM. */
+/** One competition setting: a benchmark, optionally under VM/OS. */
 struct BakeoffWorkload
 {
-    /** Report label, "<suite>/<bench>" plus "+vm" when vm is on. */
+    /** Report label, "<suite>/<bench>" plus "+vm"/"+os" suffixes. */
     std::string label;
 
     Benchmark bench;
 
     /** Run with the 4 KiB random-placement VM layer enabled. */
     bool vm = false;
+
+    /** Run with the OS memory model enabled (canonical config). */
+    bool os = false;
 };
 
 /** Knobs for one bake-off. */
@@ -58,6 +61,14 @@ struct BakeoffOptions
 
     /** Also run every workload with the VM layer on ("+vm"). */
     bool vm_axis = false;
+
+    /**
+     * Also run every workload under the OS memory model ("+os"):
+     * demand paging over the default finite frame pool with CLOCK
+     * reclaim, so contenders are ranked under fault/reclaim stalls
+     * and TLB shootdowns too.
+     */
+    bool os_axis = false;
 
     /** Trace-length override applied to every job. */
     std::optional<std::uint64_t> accesses;

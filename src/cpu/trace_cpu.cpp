@@ -9,7 +9,8 @@ namespace asd
 
 TraceCpu::TraceCpu(const CpuConfig &config, TraceSource &trace,
                    CacheHierarchy &hierarchy, CpuPrefetcher *ps,
-                   MemPort &port, std::uint32_t thread, Mmu *mmu)
+                   MemPort &port, std::uint32_t thread,
+                   AddressTranslator *mmu)
     : config_(config),
       trace_(trace),
       hierarchy_(hierarchy),
@@ -175,12 +176,12 @@ TraceCpu::tick(Cycle now)
     // Translate before anything downstream sees the address: caches,
     // controller, and the memory-side prefetcher all operate on
     // physical lines. A TLB miss holds the access at issue for the
-    // page-walk latency.
+    // page-walk (or, under the OS model, fault-service) latency.
     Addr paddr = access.addr;
     issue_ready_at_ = now;
     if (mmu_) {
         Cycles walk = 0;
-        paddr = mmu_->translate(access.addr, walk);
+        paddr = mmu_->translate(access, walk);
         if (walk > 0) {
             issue_ready_at_ = now + walk;
             walk_stall_cycles_.inc(walk);
@@ -266,6 +267,7 @@ TraceCpu::saveState(SnapshotWriter &w) const
     w.u32(pending_.access.gap);
     w.u8(static_cast<std::uint8_t>(pending_.access.op));
     w.b(pending_.access.dependent);
+    w.u32(pending_.access.space);
     w.u64(pending_.line);
     w.b(pending_.looked_up);
     w.b(pending_.needs_memory);
@@ -305,6 +307,7 @@ TraceCpu::loadState(SnapshotReader &r)
         "memory op out of range");
     pending_.access.op = static_cast<MemOp>(op);
     pending_.access.dependent = r.b();
+    pending_.access.space = r.u32();
     pending_.line = r.u64();
     pending_.looked_up = r.b();
     pending_.needs_memory = r.b();

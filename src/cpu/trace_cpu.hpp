@@ -24,7 +24,7 @@
 #include "common/types.hpp"
 #include "prefetch/cpu_prefetcher.hpp"
 #include "trace/trace_source.hpp"
-#include "vm/mmu.hpp"
+#include "vm/translator.hpp"
 
 namespace asd
 {
@@ -73,14 +73,16 @@ class TraceCpu : public Snapshottable
     /**
      * @param ps optional processor-side prefetcher (PS/PMS configs).
      * @param thread this CPU's hardware thread id.
-     * @param mmu optional virtual-memory unit; when present every
-     *        trace address is translated before it touches the
-     *        hierarchy, and TLB misses stall issue by the page-walk
-     *        latency. Null = addresses pass through untranslated.
+     * @param mmu optional address translator (the VM layer's Mmu or
+     *        the OS model's OsMmu); when present every trace address
+     *        is translated before it touches the hierarchy, and TLB
+     *        misses stall issue by the walk/fault latency. Null =
+     *        addresses pass through untranslated.
      */
     TraceCpu(const CpuConfig &config, TraceSource &trace,
              CacheHierarchy &hierarchy, CpuPrefetcher *ps,
-             MemPort &port, std::uint32_t thread, Mmu *mmu = nullptr);
+             MemPort &port, std::uint32_t thread,
+             AddressTranslator *mmu = nullptr);
 
     /** Advance one cycle. */
     void tick(Cycle now);
@@ -138,14 +140,14 @@ class TraceCpu : public Snapshottable
     MemPort &port_;
     // asdlint:allow(snapshot-field-coverage): thread id is wiring configuration fixed at construction, never dynamic state
     std::uint32_t thread_;
-    Mmu *mmu_;
+    AddressTranslator *mmu_;
 
     bool trace_done_ = false;
     std::uint64_t compute_left_ = 0; //!< gap instructions remaining
     Cycle last_tick_ = kNoCycle;     //!< for elapsed-time compute burn
     Pending pending_;
 
-    /** Earliest cycle the pending access may issue (TLB-walk stall). */
+    /** Earliest cycle the pending access may issue (walk/fault stall). */
     Cycle issue_ready_at_ = 0;
 
     std::vector<Cycle> timed_loads_;  //!< cache-hit completions

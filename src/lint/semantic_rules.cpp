@@ -95,6 +95,8 @@ constexpr SerializeBinding kSerializeBindings[] = {
     {"RunOptions", "writeJson", "RunOptions"},
     {"VmConfig", "writeJson", "RunOptions"},
     {"TlbConfig", "writeJson", "RunOptions"},
+    {"OsConfig", "writeJson", "RunOptions"},
+    {"TenantMixConfig", "writeJson", "RunOptions"},
     {"TunerConfig", "writeJson", "RunOptions"},
     {"TuneSpace", "writeJson", "RunOptions"},
     {"RunMetrics", "writeJson", "RunMetrics"},

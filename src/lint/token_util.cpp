@@ -70,9 +70,9 @@ namespace
 {
 constexpr std::string_view kLayerOrder[] = {
     "common", "lint",  "snapshot", "trace",    "vm",
-    "dram",   "cache", "mc",       "core",     "prefetch",
-    "telemetry", "cpu", "workloads", "sim",    "runner",
-    "tuner",  "arena",
+    "os",     "dram",  "cache",    "mc",       "core",
+    "prefetch", "telemetry", "cpu", "workloads", "sim",
+    "runner", "tuner", "arena",
 };
 } // namespace
 

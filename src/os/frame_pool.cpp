@@ -1,0 +1,111 @@
+#include "os/frame_pool.hpp"
+
+#include <numeric>
+
+#include "common/log.hpp"
+
+namespace asd
+{
+
+FramePool::FramePool(std::uint64_t frames, std::uint64_t seed)
+{
+    if (frames == 0)
+        fatal("os: frame pool must hold at least one frame");
+    frames_.resize(frames);
+    free_order_.resize(frames);
+    std::iota(free_order_.begin(), free_order_.end(), 0ULL);
+    // Deterministic Fisher-Yates over the hand-out order: first
+    // touches land on scattered frames, like a fragmented free list.
+    Rng rng(seed);
+    for (std::uint64_t i = frames - 1; i > 0; --i) {
+        const std::uint64_t j = rng.nextBelow(i + 1);
+        std::swap(free_order_[i], free_order_[j]);
+    }
+}
+
+std::uint64_t
+FramePool::acquire(std::uint32_t space, std::uint64_t vpn,
+                   bool is_write, bool &evicted, OsVictim &victim)
+{
+    std::uint64_t pfn;
+    if (free_pos_ < free_order_.size()) {
+        pfn = free_order_[free_pos_++];
+        evicted = false;
+    } else {
+        // CLOCK: sweep past referenced frames (clearing R as the
+        // second chance) until an unreferenced victim is found. With
+        // every frame referenced this degenerates to FIFO after one
+        // full sweep, so it always terminates.
+        while (frames_[hand_].referenced) {
+            frames_[hand_].referenced = false;
+            hand_ = (hand_ + 1) % frames_.size();
+        }
+        pfn = hand_;
+        hand_ = (hand_ + 1) % frames_.size();
+        const Frame &old = frames_[pfn];
+        victim.space = old.space;
+        victim.vpn = old.vpn;
+        victim.dirty = old.dirty;
+        evicted = true;
+        --resident_;
+    }
+    Frame &frame = frames_[pfn];
+    frame.space = space;
+    frame.vpn = vpn;
+    frame.valid = true;
+    frame.referenced = true;
+    frame.dirty = is_write;
+    ++resident_;
+    return pfn;
+}
+
+void
+FramePool::markAccess(std::uint64_t pfn, bool is_write)
+{
+    panicIfNot(pfn < frames_.size() && frames_[pfn].valid,
+               "os: access to an unmapped frame");
+    frames_[pfn].referenced = true;
+    if (is_write)
+        frames_[pfn].dirty = true;
+}
+
+void
+FramePool::saveState(SnapshotWriter &w) const
+{
+    w.u64(frames_.size());
+    for (const Frame &frame : frames_) {
+        w.u32(frame.space);
+        w.u64(frame.vpn);
+        w.b(frame.valid);
+        w.b(frame.referenced);
+        w.b(frame.dirty);
+    }
+    w.u64(free_pos_);
+    w.u64(hand_);
+    w.u64(resident_);
+}
+
+void
+FramePool::loadState(SnapshotReader &r)
+{
+    SnapshotReader::check(r.u64() == frames_.size(),
+                          "os: frame pool size mismatch");
+    for (Frame &frame : frames_) {
+        frame.space = r.u32();
+        frame.vpn = r.u64();
+        frame.valid = r.b();
+        frame.referenced = r.b();
+        frame.dirty = r.b();
+    }
+    free_pos_ = r.u64();
+    SnapshotReader::check(free_pos_ <= frames_.size(),
+                          "os: frame pool cursor out of range");
+    hand_ = r.u64();
+    SnapshotReader::check(hand_ < frames_.size(),
+                          "os: CLOCK hand out of range");
+    resident_ = r.u64();
+    SnapshotReader::check(resident_ <= frames_.size(),
+                          "os: resident count out of range");
+}
+
+} // namespace asd

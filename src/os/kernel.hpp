@@ -1,0 +1,105 @@
+#ifndef ASD_OS_KERNEL_HPP
+#define ASD_OS_KERNEL_HPP
+
+/**
+ * @file
+ * The OS kernel model: demand paging over a finite frame pool. On a
+ * TLB miss the per-thread OsMmu calls touch(), which walks the page
+ * table, takes a minor or major fault on an absent page, reclaims a
+ * CLOCK victim when the pool is full (unmapping it and shooting its
+ * translation out of every TLB, with a writeback charge when dirty),
+ * and returns the total stall to charge the issuing thread. All state
+ * is shared across threads and tenants — one tenant's fault pressure
+ * evicts another tenant's frames, exactly the cross-tenant
+ * interference the multi-tenant scenarios study.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "os/frame_pool.hpp"
+#include "os/os_config.hpp"
+#include "os/page_walker.hpp"
+#include "vm/tlb.hpp"
+
+namespace asd
+{
+
+/** What one fault-path invocation did and cost. */
+struct OsTouchResult
+{
+    std::uint64_t pfn = 0;
+    Cycles stall_cycles = 0;
+    bool minor_fault = false;
+    bool major_fault = false;
+    bool reclaimed = false;
+    bool wrote_back = false;
+};
+
+/** Shared demand-paging kernel; one instance per simulated machine. */
+class OsKernel : public Snapshottable
+{
+  public:
+    /** @param vm supplies granule, TLB geometry, walker selection. */
+    OsKernel(const OsConfig &config, const VmConfig &vm);
+
+    /**
+     * Register a TLB for shootdowns; every per-thread OsMmu TLB must
+     * be registered so reclaim can invalidate stale translations.
+     */
+    void registerTlb(Tlb *tlb) { tlbs_.push_back(tlb); }
+
+    /**
+     * Full translation path for a TLB miss on (@p space, @p vpn):
+     * walk, fault if absent, reclaim if the pool is full.
+     */
+    OsTouchResult touch(std::uint32_t space, std::uint64_t vpn,
+                        bool is_write);
+
+    /** Record a TLB-hit access so CLOCK sees R (and D) bits. */
+    void markAccess(std::uint64_t pfn, bool is_write);
+
+    const FramePool &pool() const { return pool_; }
+    const PageWalker &walker() const { return *walker_; }
+
+    std::uint64_t minorFaults() const { return minor_faults_.value(); }
+    std::uint64_t majorFaults() const { return major_faults_.value(); }
+    std::uint64_t reclaims() const { return reclaims_.value(); }
+    std::uint64_t writebacks() const { return writebacks_.value(); }
+    std::uint64_t shootdowns() const { return shootdowns_.value(); }
+    std::uint64_t stallCycles() const { return stall_cycles_.value(); }
+    std::uint64_t pagesMapped() const
+    {
+        return walker_->pagesMapped();
+    }
+
+    void registerStats(StatRegistry &registry,
+                       const std::string &prefix) const;
+
+    void saveState(SnapshotWriter &w) const override;
+    void loadState(SnapshotReader &r) override;
+
+  private:
+    // asdlint:allow(snapshot-field-coverage): configuration fixed at construction
+    OsConfig config_;
+    FramePool pool_;
+    std::unique_ptr<PageWalker> walker_;
+    Rng rng_; //!< major-vs-minor fault draws
+    // asdlint:allow(snapshot-field-coverage): wiring to the per-thread TLBs, rebuilt at construction
+    std::vector<Tlb *> tlbs_;
+
+    Counter minor_faults_;
+    Counter major_faults_;
+    Counter reclaims_;
+    Counter writebacks_;
+    Counter shootdowns_;
+    Counter stall_cycles_;
+};
+
+} // namespace asd
+
+#endif // ASD_OS_KERNEL_HPP

@@ -48,6 +48,18 @@ makeJobId(const Benchmark &bench, const RunOptions &options,
         if (options.vm.policy != FrameAllocPolicy::HugePage)
             id += "_p" + std::to_string(options.vm.page_bytes);
     }
+    if (options.os.enabled) {
+        id += ".os_f" + std::to_string(options.os.frames);
+        if (options.vm.walker != PageWalkerKind::Radix)
+            id += "_" + toString(options.vm.walker);
+    }
+    if (options.tenants.enabled) {
+        // Zipf exponent in milli-units keeps the id free of '.'s.
+        id += ".ten" + std::to_string(options.tenants.slots) + "_z" +
+              std::to_string(static_cast<long long>(
+                  options.tenants.zipf_s * 1000.0 + 0.5)) +
+              "_l" + std::to_string(options.tenants.mean_lifetime);
+    }
     if (options.ps_oracle)
         id += ".oracle";
     if (options.ghb_delta_correlate)

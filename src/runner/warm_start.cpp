@@ -71,13 +71,32 @@ warmupKey(const JobSpec &job)
             << o.vm.seed << ',' << o.vm.tlb.entries << ','
             << o.vm.tlb.ways << ',' << o.vm.tlb.walk_cycles;
     }
+    // The OS model shapes the warm-up machine (fault stalls, frame
+    // reclaim, the snapshot's "os" section), so every OS knob joins
+    // the key; two jobs share a warm-up only when their disarmed
+    // machines are identical.
+    key << ";os=" << (o.os.enabled ? 1 : 0);
+    if (o.os.enabled) {
+        key << ',' << o.os.frames << ',' << o.os.minor_fault_cycles
+            << ',' << o.os.major_fault_cycles << ','
+            << o.os.major_fault_frac << ',' << o.os.reclaim_cycles
+            << ',' << o.os.writeback_cycles << ','
+            << o.os.hashed_probe_cycles << ',' << o.os.seed << ','
+            << toString(o.vm.walker) << ',' << o.vm.page_bytes << ','
+            << o.vm.tlb.entries << ',' << o.vm.tlb.ways << ','
+            << o.vm.tlb.walk_cycles;
+    }
     return key.str();
 }
 
 bool
 warmStartEligible(const JobSpec &job)
 {
-    return !job.body && job.options.warmup_cycles > 0;
+    // Tenant mixes run through a TenantMixSource; the warm-up
+    // fork path below rebuilds a plain SyntheticTraceGenerator, so
+    // those jobs always cold-start.
+    return !job.body && job.options.warmup_cycles > 0 &&
+           !job.options.tenants.enabled;
 }
 
 SnapshotBytes

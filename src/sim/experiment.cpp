@@ -62,6 +62,7 @@ makeSystemConfig(const RunOptions &options)
     config.ps_kind = options.ps_kind;
     config.ps_oracle = options.ps_oracle;
     config.vm = options.vm;
+    config.os = options.os;
     config.mc.scheduler = options.scheduler;
     config.asd.buffer_lines = options.buffer_lines;
     config.asd.filter_slots = options.filter_slots;
@@ -91,6 +92,15 @@ copyEpochs(const System &system, std::vector<EpochRecord> *out)
         *out = system.telemetry()->records();
 }
 
+void
+fillTenantMetrics(RunMetrics &metrics, const TenantMixSource &mix)
+{
+    metrics.tenants_enabled = true;
+    metrics.tenant_arrivals = mix.arrivals();
+    metrics.tenant_departures = mix.departures();
+    metrics.tenant_active = mix.activeTenants();
+}
+
 } // namespace
 
 RunMetrics
@@ -105,8 +115,24 @@ runBenchmark(const Benchmark &bench, const RunOptions &options,
 {
     SyntheticConfig trace_config = bench.trace;
     trace_config.total_accesses = scaledAccesses(bench, options);
-    SyntheticTraceGenerator trace(trace_config);
 
+    if (options.tenants.enabled) {
+        TenantMixSource mix(options.tenants, trace_config,
+                            trace_config.total_accesses);
+        System system(makeSystemConfig(options), {&mix});
+        system.setTenantProbe([&mix]() {
+            TenantTelemetrySample sample;
+            sample.arrivals = mix.arrivals();
+            sample.departures = mix.departures();
+            return sample;
+        });
+        RunMetrics metrics = system.run();
+        fillTenantMetrics(metrics, mix);
+        copyEpochs(system, epochs_out);
+        return metrics;
+    }
+
+    SyntheticTraceGenerator trace(trace_config);
     System system(makeSystemConfig(options), {&trace});
     const RunMetrics metrics = system.run();
     copyEpochs(system, epochs_out);

@@ -19,6 +19,7 @@
 #include "sim/tuner_config.hpp"
 #include "telemetry/recorder.hpp"
 #include "workloads/profiles.hpp"
+#include "workloads/tenant_mix.hpp"
 
 namespace asd
 {
@@ -65,6 +66,16 @@ struct RunOptions
 
     /** Virtual-memory layer (off by default => seed-identical). */
     VmConfig vm;
+
+    /**
+     * OS memory model (off by default => seed-identical). Mutually
+     * exclusive with vm.enabled; reads granule/TLB/walker geometry
+     * from the vm block either way.
+     */
+    OsConfig os;
+
+    /** Multi-tenant scenario engine (off by default). */
+    TenantMixConfig tenants;
 
     /** Per-epoch telemetry recorder (off by default). */
     // asdlint:allow(serialize-coverage): observational only; serializing it would perturb every existing options JSON and config hash

@@ -59,6 +59,23 @@ struct RunMetrics
     std::uint64_t page_walk_cycles = 0;
     std::uint64_t pages_mapped = 0;
 
+    // --- OS memory model (all zero when the OS model is disabled).
+    // The TLB counters above are reused for the OS MMUs' TLBs. ---
+    bool os_enabled = false;
+    std::uint64_t os_minor_faults = 0;
+    std::uint64_t os_major_faults = 0;
+    std::uint64_t os_reclaims = 0;
+    std::uint64_t os_writebacks = 0;
+    std::uint64_t os_shootdowns = 0;
+    std::uint64_t os_stall_cycles = 0;
+    std::uint64_t os_resident_pages = 0;
+
+    // --- multi-tenant scenario engine (zero when disabled) ---
+    bool tenants_enabled = false;
+    std::uint64_t tenant_arrivals = 0;
+    std::uint64_t tenant_departures = 0;
+    std::uint64_t tenant_active = 0;
+
     /**
      * Exact (bit-level for the doubles) comparison. The simulator is
      * deterministic, so two runs of the same configuration must agree

@@ -101,6 +101,28 @@ parseFrameAllocPolicy(const std::string &text)
     return std::nullopt;
 }
 
+std::string
+toString(PageWalkerKind kind)
+{
+    switch (kind) {
+    case PageWalkerKind::Radix:
+        return "radix";
+    case PageWalkerKind::Hashed:
+        return "hashed";
+    }
+    panic("unhandled PageWalkerKind");
+}
+
+std::optional<PageWalkerKind>
+parsePageWalkerKind(const std::string &text)
+{
+    if (text == "radix")
+        return PageWalkerKind::Radix;
+    if (text == "hashed")
+        return PageWalkerKind::Hashed;
+    return std::nullopt;
+}
+
 std::optional<PrefetchMode>
 parsePrefetchMode(const std::string &text)
 {
@@ -170,11 +192,38 @@ writeJson(JsonWriter &writer, const RunOptions &options)
     writer.key("tlb_entries").value(options.vm.tlb.entries);
     writer.key("tlb_ways").value(options.vm.tlb.ways);
     writer.key("walk_cycles").value(options.vm.tlb.walk_cycles);
+    // Emitted only when non-default so every pre-existing run's
+    // options JSON (and thus its runConfigHash) stays byte-identical.
+    if (options.vm.walker != PageWalkerKind::Radix)
+        writer.key("walker").value(toString(options.vm.walker));
     writer.endObject();
     // Emitted only when set so every pre-existing run's options JSON
     // (and thus its runConfigHash) stays byte-identical.
     if (options.ghb_delta_correlate)
         writer.key("ghb_delta_correlate").value(true);
+    if (options.os.enabled) {
+        const OsConfig &os = options.os;
+        writer.key("os").beginObject();
+        writer.key("frames").value(os.frames);
+        writer.key("minor_fault_cycles").value(os.minor_fault_cycles);
+        writer.key("major_fault_cycles").value(os.major_fault_cycles);
+        writer.key("major_fault_frac").value(os.major_fault_frac);
+        writer.key("reclaim_cycles").value(os.reclaim_cycles);
+        writer.key("writeback_cycles").value(os.writeback_cycles);
+        writer.key("hashed_probe_cycles")
+            .value(os.hashed_probe_cycles);
+        writer.key("seed").value(os.seed);
+        writer.endObject();
+    }
+    if (options.tenants.enabled) {
+        const TenantMixConfig &ten = options.tenants;
+        writer.key("tenants").beginObject();
+        writer.key("slots").value(ten.slots);
+        writer.key("zipf_s").value(ten.zipf_s);
+        writer.key("mean_lifetime").value(ten.mean_lifetime);
+        writer.key("seed").value(ten.seed);
+        writer.endObject();
+    }
     if (options.tuner.enabled) {
         const TunerConfig &t = options.tuner;
         writer.key("tuner").beginObject();
@@ -238,6 +287,26 @@ writeJson(JsonWriter &writer, const RunMetrics &metrics)
     writer.key("page_walk_cycles").value(metrics.page_walk_cycles);
     writer.key("pages_mapped").value(metrics.pages_mapped);
     writer.endObject();
+    // Emitted only when present so pre-existing metrics JSON stays
+    // byte-identical (mirrors the options-side convention).
+    if (metrics.os_enabled) {
+        writer.key("os").beginObject();
+        writer.key("minor_faults").value(metrics.os_minor_faults);
+        writer.key("major_faults").value(metrics.os_major_faults);
+        writer.key("reclaims").value(metrics.os_reclaims);
+        writer.key("writebacks").value(metrics.os_writebacks);
+        writer.key("shootdowns").value(metrics.os_shootdowns);
+        writer.key("stall_cycles").value(metrics.os_stall_cycles);
+        writer.key("resident_pages").value(metrics.os_resident_pages);
+        writer.endObject();
+    }
+    if (metrics.tenants_enabled) {
+        writer.key("tenants").beginObject();
+        writer.key("arrivals").value(metrics.tenant_arrivals);
+        writer.key("departures").value(metrics.tenant_departures);
+        writer.key("active").value(metrics.tenant_active);
+        writer.endObject();
+    }
     writer.endObject();
 }
 
@@ -337,6 +406,30 @@ metricsFromJson(const JsonValue &value)
         !readU64(*vm, "page_walk_cycles", m.page_walk_cycles) ||
         !readU64(*vm, "pages_mapped", m.pages_mapped))
         return std::nullopt;
+    // Optional blocks: absent in every record written before the OS
+    // model / tenant engine existed (and in runs with them disabled).
+    if (const JsonValue *os = value.find("os")) {
+        if (os->kind() != JsonValue::Kind::Object)
+            return std::nullopt;
+        m.os_enabled = true;
+        if (!readU64(*os, "minor_faults", m.os_minor_faults) ||
+            !readU64(*os, "major_faults", m.os_major_faults) ||
+            !readU64(*os, "reclaims", m.os_reclaims) ||
+            !readU64(*os, "writebacks", m.os_writebacks) ||
+            !readU64(*os, "shootdowns", m.os_shootdowns) ||
+            !readU64(*os, "stall_cycles", m.os_stall_cycles) ||
+            !readU64(*os, "resident_pages", m.os_resident_pages))
+            return std::nullopt;
+    }
+    if (const JsonValue *ten = value.find("tenants")) {
+        if (ten->kind() != JsonValue::Kind::Object)
+            return std::nullopt;
+        m.tenants_enabled = true;
+        if (!readU64(*ten, "arrivals", m.tenant_arrivals) ||
+            !readU64(*ten, "departures", m.tenant_departures) ||
+            !readU64(*ten, "active", m.tenant_active))
+            return std::nullopt;
+    }
     return m;
 }
 

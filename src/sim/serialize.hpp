@@ -23,6 +23,7 @@ std::string toString(McPrefetcherKind kind);
 std::string toString(PsKind kind);
 std::string toString(SchedulerKind kind);
 std::string toString(FrameAllocPolicy policy);
+std::string toString(PageWalkerKind kind);
 
 /** Case-sensitive inverse of toString(); nullopt on unknown text. */
 std::optional<PrefetchMode> parsePrefetchMode(const std::string &text);
@@ -30,6 +31,8 @@ std::optional<McPrefetcherKind>
 parseMcPrefetcherKind(const std::string &text);
 std::optional<FrameAllocPolicy>
 parseFrameAllocPolicy(const std::string &text);
+std::optional<PageWalkerKind>
+parsePageWalkerKind(const std::string &text);
 
 /** Append @p options as one JSON object to @p writer. */
 void writeJson(JsonWriter &writer, const RunOptions &options);

@@ -65,6 +65,21 @@ saveRunOptions(SnapshotWriter &w, const RunOptions &options)
     w.u32(options.vm.tlb.entries);
     w.u32(options.vm.tlb.ways);
     w.u64(options.vm.tlb.walk_cycles);
+    w.u8(static_cast<std::uint8_t>(options.vm.walker));
+    w.b(options.os.enabled);
+    w.u64(options.os.frames);
+    w.u64(options.os.minor_fault_cycles);
+    w.u64(options.os.major_fault_cycles);
+    w.f64(options.os.major_fault_frac);
+    w.u64(options.os.reclaim_cycles);
+    w.u64(options.os.writeback_cycles);
+    w.u64(options.os.hashed_probe_cycles);
+    w.u64(options.os.seed);
+    w.b(options.tenants.enabled);
+    w.u32(options.tenants.slots);
+    w.f64(options.tenants.zipf_s);
+    w.u64(options.tenants.mean_lifetime);
+    w.u64(options.tenants.seed);
     w.b(options.telemetry.enabled);
     w.b(options.telemetry.capture_slh);
     w.u64(options.telemetry.max_epochs);
@@ -122,6 +137,22 @@ loadRunOptions(SnapshotReader &r)
     options.vm.tlb.entries = r.u32();
     options.vm.tlb.ways = r.u32();
     options.vm.tlb.walk_cycles = r.u64();
+    options.vm.walker = readEnum(r, PageWalkerKind::Hashed,
+                                 "page-walker kind out of range");
+    options.os.enabled = r.b();
+    options.os.frames = r.u64();
+    options.os.minor_fault_cycles = r.u64();
+    options.os.major_fault_cycles = r.u64();
+    options.os.major_fault_frac = r.f64();
+    options.os.reclaim_cycles = r.u64();
+    options.os.writeback_cycles = r.u64();
+    options.os.hashed_probe_cycles = r.u64();
+    options.os.seed = r.u64();
+    options.tenants.enabled = r.b();
+    options.tenants.slots = r.u32();
+    options.tenants.zipf_s = r.f64();
+    options.tenants.mean_lifetime = r.u64();
+    options.tenants.seed = r.u64();
     options.telemetry.enabled = r.b();
     options.telemetry.capture_slh = r.b();
     options.telemetry.max_epochs =

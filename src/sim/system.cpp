@@ -101,17 +101,30 @@ System::System(const SystemConfig &config,
         }
     }
 
+    if (config_.vm.enabled && config_.os.enabled)
+        fatal("System: vm.enabled and os.enabled are mutually "
+              "exclusive — the OS model replaces the VM layer's "
+              "infinite allocators");
     if (config_.vm.enabled)
         frames_ = std::make_unique<FrameAllocator>(config_.vm);
+    if (config_.os.enabled)
+        kernel_ = std::make_unique<OsKernel>(config_.os, config_.vm);
 
     for (std::uint32_t t = 0; t < threads; ++t) {
-        Mmu *mmu = nullptr;
+        AddressTranslator *mmu = nullptr;
         if (frames_) {
             mmus_.push_back(std::make_unique<Mmu>(config_.vm,
                                                   *frames_, t));
             mmu = mmus_.back().get();
-            mmu->registerStats(registry_,
-                               "vm.t" + std::to_string(t));
+            mmus_.back()->registerStats(registry_,
+                                        "vm.t" + std::to_string(t));
+        }
+        if (kernel_) {
+            os_mmus_.push_back(std::make_unique<OsMmu>(config_.vm,
+                                                       *kernel_, t));
+            mmu = os_mmus_.back().get();
+            os_mmus_.back()->registerStats(
+                registry_, "os.t" + std::to_string(t));
         }
         CpuPrefetcher *ps = nullptr;
         if (config_.hasPs()) {
@@ -139,6 +152,22 @@ System::System(const SystemConfig &config,
             asd_->setEpochEndHook([this](Cycle now) {
                 telemetry_->onEpochEnd(now);
             });
+            if (kernel_) {
+                telemetry_->setOsProbe([this]() {
+                    OsTelemetrySample sample;
+                    sample.minor_faults = kernel_->minorFaults();
+                    sample.major_faults = kernel_->majorFaults();
+                    sample.reclaims = kernel_->reclaims();
+                    sample.writebacks = kernel_->writebacks();
+                    sample.shootdowns = kernel_->shootdowns();
+                    return sample;
+                });
+                // Pick up counters accumulated between construction
+                // of the recorder (above) and probe installation:
+                // none yet, but rebaseline keeps the invariant
+                // explicit if construction order ever changes.
+                telemetry_->rebaseline(0);
+            }
         } else {
             warn("telemetry requested but the memory-side prefetcher "
                  "is not ASD; no epochs to record");
@@ -147,6 +176,8 @@ System::System(const SystemConfig &config,
 
     if (frames_)
         frames_->registerStats(registry_, "vm");
+    if (kernel_)
+        kernel_->registerStats(registry_, "os");
     dram_.registerStats(registry_);
     mc_.registerStats(registry_, "mc");
     hierarchy_.registerStats(registry_, "cache");
@@ -369,6 +400,24 @@ System::collectMetrics() const
         metrics.pages_mapped += mmu->pageTable().pagesMapped();
     }
 
+    metrics.os_enabled = kernel_ != nullptr;
+    for (const auto &mmu : os_mmus_) {
+        metrics.tlb_hits += mmu->tlb().hits();
+        metrics.tlb_misses += mmu->tlb().misses();
+        metrics.tlb_evictions += mmu->tlb().evictions();
+        metrics.page_walk_cycles += mmu->stallCycles();
+    }
+    if (kernel_) {
+        metrics.pages_mapped += kernel_->pagesMapped();
+        metrics.os_minor_faults = kernel_->minorFaults();
+        metrics.os_major_faults = kernel_->majorFaults();
+        metrics.os_reclaims = kernel_->reclaims();
+        metrics.os_writebacks = kernel_->writebacks();
+        metrics.os_shootdowns = kernel_->shootdowns();
+        metrics.os_stall_cycles = kernel_->stallCycles();
+        metrics.os_resident_pages = kernel_->pool().resident();
+    }
+
     metrics.mc_reads = mc_.readsObserved();
     metrics.mc_writes = mc_.writesObserved();
     metrics.ms_prefetches_issued = mc_.prefetchesIssued();
@@ -444,6 +493,7 @@ System::saveSnapshot(SnapshotWriter &w) const
     w.b(!ps_.empty());
     w.b(frames_ != nullptr);
     w.b(telemetry_ != nullptr);
+    w.b(kernel_ != nullptr);
     w.endSection();
 
     for (std::size_t t = 0; t < cpus_.size(); ++t) {
@@ -481,6 +531,14 @@ System::saveSnapshot(SnapshotWriter &w) const
         w.beginSection("vm");
         frames_->saveState(w);
         for (const auto &mmu : mmus_)
+            mmu->saveState(w);
+        w.endSection();
+    }
+
+    if (kernel_) {
+        w.beginSection("os");
+        kernel_->saveState(w);
+        for (const auto &mmu : os_mmus_)
             mmu->saveState(w);
         w.endSection();
     }
@@ -527,6 +585,7 @@ System::loadSnapshot(SnapshotReader &r)
     const bool snap_ps = r.b();
     const bool snap_vm = r.b();
     const bool snap_tel = r.b();
+    const bool snap_os = r.b();
     r.endSection();
 
     // The processor side and VM layer shape the pre-checkpoint
@@ -544,6 +603,8 @@ System::loadSnapshot(SnapshotReader &r)
                           "processor-side prefetcher presence mismatch");
     SnapshotReader::check(snap_vm == (frames_ != nullptr),
                           "virtual-memory presence mismatch");
+    SnapshotReader::check(snap_os == (kernel_ != nullptr),
+                          "OS-model presence mismatch");
     SnapshotReader::check(
         !snap_tel || telemetry_ != nullptr,
         "snapshot carries telemetry state but this machine has no "
@@ -590,6 +651,14 @@ System::loadSnapshot(SnapshotReader &r)
         r.openSection("vm");
         frames_->loadState(r);
         for (const auto &mmu : mmus_)
+            mmu->loadState(r);
+        r.endSection();
+    }
+
+    if (snap_os) {
+        r.openSection("os");
+        kernel_->loadState(r);
+        for (const auto &mmu : os_mmus_)
             mmu->loadState(r);
         r.endSection();
     }

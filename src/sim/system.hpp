@@ -25,6 +25,8 @@
 #include "mc/memory_controller.hpp"
 #include "prefetch/mc_baselines.hpp"
 #include "prefetch/ps_prefetcher.hpp"
+#include "os/kernel.hpp"
+#include "os/os_mmu.hpp"
 #include "sim/metrics.hpp"
 #include "sim/system_config.hpp"
 #include "snapshot/snapshot.hpp"
@@ -67,7 +69,8 @@ class System : public MemPort
     /**
      * Serialize the complete machine state into @p w as named
      * sections ("sys", "cpu<t>", "cache", "mc", "dram", plus "ms",
-     * "ps<t>", "vm", "tel" when those layers are present). The caller
+     * "ps<t>", "vm", "os", "tel" when those layers are present). The
+     * caller
      * owns the surrounding file format (config hash, metadata).
      * Deterministic: saving twice from the same state yields
      * byte-identical payloads.
@@ -119,6 +122,21 @@ class System : public MemPort
     const Mmu *mmu(std::uint32_t t) const
     {
         return t < mmus_.size() ? mmus_[t].get() : nullptr;
+    }
+
+    /** The OS kernel model; null when the OS model is disabled. */
+    const OsKernel *osKernel() const { return kernel_.get(); }
+
+    /**
+     * Forward a tenant-counter sampler to the telemetry recorder so
+     * per-epoch records carry arrival/departure columns (the System
+     * itself never sees the trace-source type). No-op when telemetry
+     * is off; install before the first epoch completes.
+     */
+    void setTenantProbe(std::function<TenantTelemetrySample()> probe)
+    {
+        if (telemetry_)
+            telemetry_->setTenantProbe(std::move(probe));
     }
 
     Cycle nowCycle() const { return now_; }
@@ -175,6 +193,10 @@ class System : public MemPort
     /** Shared frame pool + per-thread MMUs (VM enabled only). */
     std::unique_ptr<FrameAllocator> frames_;
     std::vector<std::unique_ptr<Mmu>> mmus_;
+
+    /** Shared kernel + per-thread MMUs (OS model enabled only). */
+    std::unique_ptr<OsKernel> kernel_;
+    std::vector<std::unique_ptr<OsMmu>> os_mmus_;
 
     std::vector<std::unique_ptr<TraceCpu>> cpus_;
 

@@ -15,6 +15,7 @@
 #include "cpu/trace_cpu.hpp"
 #include "dram/dram_config.hpp"
 #include "mc/memory_controller.hpp"
+#include "os/os_config.hpp"
 #include "prefetch/asd_ps_prefetcher.hpp"
 #include "prefetch/dspatch_prefetcher.hpp"
 #include "prefetch/ghb_prefetcher.hpp"
@@ -73,6 +74,16 @@ struct SystemConfig
      * the layer.
      */
     VmConfig vm;
+
+    /**
+     * OS memory model (demand paging over a finite frame pool with
+     * CLOCK reclaim). Mutually exclusive with the plain VM layer: the
+     * OS model replaces the infinite allocators entirely. It reads
+     * the granule, TLB geometry, and walker selection from `vm` but
+     * ignores vm.enabled. Disabled by default; when off, runs are
+     * bit-identical to a machine without the OS layer.
+     */
+    OsConfig os;
 
     /**
      * Per-epoch telemetry recorder (ASD memory-side prefetcher only,

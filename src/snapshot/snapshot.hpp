@@ -43,8 +43,13 @@ namespace asd
  * v2: RunOptions metadata grew the GHB correlation mode and the
  * phase-adaptive tuner block; GHB state grew delta-correlation
  * fields; tuned runs add a "tun" section.
+ * v3: OS memory model + multi-tenant engine. The CPU's pending
+ * access grew the address-space id, RunOptions metadata grew the
+ * VM walker kind plus the "os"/"tenants" blocks, telemetry epochs
+ * grew OS/tenant columns, and OS-enabled machines add an "os"
+ * section.
  */
-inline constexpr std::uint32_t kSnapshotFormatVersion = 2;
+inline constexpr std::uint32_t kSnapshotFormatVersion = 3;
 
 /**
  * Any way a snapshot can be unusable: truncated or corrupt bytes,

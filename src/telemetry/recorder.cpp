@@ -33,6 +33,19 @@ TelemetryRecorder::sampleCounters() const
     b.regulars_delayed = mc_.regularsDelayed();
     b.dram_row_hits = dram_.rowHits();
     b.dram_row_misses = dram_.rowMisses();
+    if (os_probe_) {
+        const OsTelemetrySample os = os_probe_();
+        b.os_minor_faults = os.minor_faults;
+        b.os_major_faults = os.major_faults;
+        b.os_reclaims = os.reclaims;
+        b.os_writebacks = os.writebacks;
+        b.os_shootdowns = os.shootdowns;
+    }
+    if (tenant_probe_) {
+        const TenantTelemetrySample tenants = tenant_probe_();
+        b.tenant_arrivals = tenants.arrivals;
+        b.tenant_departures = tenants.departures;
+    }
     return b;
 }
 
@@ -82,6 +95,18 @@ TelemetryRecorder::onEpochEnd(Cycle now)
     rec.dram_row_misses =
         sample.dram_row_misses - baseline_.dram_row_misses;
 
+    rec.os_minor_faults =
+        sample.os_minor_faults - baseline_.os_minor_faults;
+    rec.os_major_faults =
+        sample.os_major_faults - baseline_.os_major_faults;
+    rec.os_reclaims = sample.os_reclaims - baseline_.os_reclaims;
+    rec.os_writebacks = sample.os_writebacks - baseline_.os_writebacks;
+    rec.os_shootdowns = sample.os_shootdowns - baseline_.os_shootdowns;
+    rec.tenant_arrivals =
+        sample.tenant_arrivals - baseline_.tenant_arrivals;
+    rec.tenant_departures =
+        sample.tenant_departures - baseline_.tenant_departures;
+
     rec.read_q_hwm = mc_.readQHighWater();
     rec.write_q_hwm = mc_.writeQHighWater();
     rec.caq_hwm = mc_.caqHighWater();
@@ -128,7 +153,7 @@ TelemetryRecorder::rebaseline(Cycle now)
 void
 TelemetryRecorder::saveState(SnapshotWriter &w) const
 {
-    const std::uint64_t fields[16] = {
+    const std::uint64_t fields[23] = {
         baseline_.reads,
         baseline_.suggested,
         baseline_.suppressed,
@@ -144,6 +169,13 @@ TelemetryRecorder::saveState(SnapshotWriter &w) const
         baseline_.regulars_delayed,
         baseline_.dram_row_hits,
         baseline_.dram_row_misses,
+        baseline_.os_minor_faults,
+        baseline_.os_major_faults,
+        baseline_.os_reclaims,
+        baseline_.os_writebacks,
+        baseline_.os_shootdowns,
+        baseline_.tenant_arrivals,
+        baseline_.tenant_departures,
         baseline_.cycle,
     };
     for (const std::uint64_t field : fields)
@@ -176,6 +208,13 @@ TelemetryRecorder::saveState(SnapshotWriter &w) const
         w.u64(rec.lpq_hwm);
         w.f64(rec.accuracy_pct);
         w.f64(rec.coverage_pct);
+        w.u64(rec.os_minor_faults);
+        w.u64(rec.os_major_faults);
+        w.u64(rec.os_reclaims);
+        w.u64(rec.os_writebacks);
+        w.u64(rec.os_shootdowns);
+        w.u64(rec.tenant_arrivals);
+        w.u64(rec.tenant_departures);
         w.u64(rec.slh.size());
         for (const EpochLht &lht : rec.slh) {
             w.u32(lht.thread);
@@ -203,6 +242,13 @@ TelemetryRecorder::loadState(SnapshotReader &r)
     baseline_.regulars_delayed = r.u64();
     baseline_.dram_row_hits = r.u64();
     baseline_.dram_row_misses = r.u64();
+    baseline_.os_minor_faults = r.u64();
+    baseline_.os_major_faults = r.u64();
+    baseline_.os_reclaims = r.u64();
+    baseline_.os_writebacks = r.u64();
+    baseline_.os_shootdowns = r.u64();
+    baseline_.tenant_arrivals = r.u64();
+    baseline_.tenant_departures = r.u64();
     baseline_.cycle = r.u64();
     capped_ = r.b();
     const std::uint64_t count = r.u64();
@@ -235,6 +281,13 @@ TelemetryRecorder::loadState(SnapshotReader &r)
         rec.lpq_hwm = static_cast<std::size_t>(r.u64());
         rec.accuracy_pct = r.f64();
         rec.coverage_pct = r.f64();
+        rec.os_minor_faults = r.u64();
+        rec.os_major_faults = r.u64();
+        rec.os_reclaims = r.u64();
+        rec.os_writebacks = r.u64();
+        rec.os_shootdowns = r.u64();
+        rec.tenant_arrivals = r.u64();
+        rec.tenant_departures = r.u64();
         const std::uint64_t lhts = r.u64();
         for (std::uint64_t j = 0; j < lhts; ++j) {
             EpochLht lht;

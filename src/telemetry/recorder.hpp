@@ -15,6 +15,7 @@
  */
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/types.hpp"
@@ -80,8 +81,37 @@ struct EpochRecord
     double accuracy_pct = 0.0;
     double coverage_pct = 0.0;
 
+    // OS memory model (all zero when the OS model is off); lets the
+    // phase detector see OS-induced phase changes.
+    std::uint64_t os_minor_faults = 0;
+    std::uint64_t os_major_faults = 0;
+    std::uint64_t os_reclaims = 0;
+    std::uint64_t os_writebacks = 0;
+    std::uint64_t os_shootdowns = 0;
+
+    // Multi-tenant scenario engine (zero when off).
+    std::uint64_t tenant_arrivals = 0;
+    std::uint64_t tenant_departures = 0;
+
     /** Per-thread LHTcurr snapshots (TelemetryConfig::capture_slh). */
     std::vector<EpochLht> slh;
+};
+
+/** Cumulative OS-model counters, as sampled by the OS probe. */
+struct OsTelemetrySample
+{
+    std::uint64_t minor_faults = 0;
+    std::uint64_t major_faults = 0;
+    std::uint64_t reclaims = 0;
+    std::uint64_t writebacks = 0;
+    std::uint64_t shootdowns = 0;
+};
+
+/** Cumulative tenant counters, as sampled by the tenant probe. */
+struct TenantTelemetrySample
+{
+    std::uint64_t arrivals = 0;
+    std::uint64_t departures = 0;
 };
 
 /** The recorder; one per System, driven by the epoch-end hook. */
@@ -107,6 +137,25 @@ class TelemetryRecorder : public Snapshottable
      * record identical epochs.
      */
     void rebaseline(Cycle now);
+
+    /**
+     * Install the OS-counter sampler (the telemetry layer sits below
+     * the OS layer, so the System injects a closure instead of the
+     * recorder reading the kernel directly). Install before the first
+     * epoch completes; absent probe = all-zero columns.
+     */
+    void
+    setOsProbe(std::function<OsTelemetrySample()> probe)
+    {
+        os_probe_ = std::move(probe);
+    }
+
+    /** Install the tenant-counter sampler; same contract as above. */
+    void
+    setTenantProbe(std::function<TenantTelemetrySample()> probe)
+    {
+        tenant_probe_ = std::move(probe);
+    }
 
     void saveState(SnapshotWriter &w) const override;
     void loadState(SnapshotReader &r) override;
@@ -137,6 +186,13 @@ class TelemetryRecorder : public Snapshottable
         std::uint64_t regulars_delayed = 0;
         std::uint64_t dram_row_hits = 0;
         std::uint64_t dram_row_misses = 0;
+        std::uint64_t os_minor_faults = 0;
+        std::uint64_t os_major_faults = 0;
+        std::uint64_t os_reclaims = 0;
+        std::uint64_t os_writebacks = 0;
+        std::uint64_t os_shootdowns = 0;
+        std::uint64_t tenant_arrivals = 0;
+        std::uint64_t tenant_departures = 0;
         Cycle cycle = 0;
     };
 
@@ -146,6 +202,10 @@ class TelemetryRecorder : public Snapshottable
     const AsdPrefetcher &asd_;
     MemoryController &mc_;
     const Dram &dram_;
+    // asdlint:allow(snapshot-field-coverage): wiring installed by the System; the sampled values live in baseline_
+    std::function<OsTelemetrySample()> os_probe_;
+    // asdlint:allow(snapshot-field-coverage): see os_probe_
+    std::function<TenantTelemetrySample()> tenant_probe_;
 
     Baseline baseline_;
     std::vector<EpochRecord> records_;

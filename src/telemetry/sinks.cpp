@@ -50,6 +50,13 @@ writeScalarMembers(JsonWriter &w, const EpochRecord &rec)
         static_cast<std::uint64_t>(rec.write_q_hwm));
     w.key("caq_hwm").value(static_cast<std::uint64_t>(rec.caq_hwm));
     w.key("lpq_hwm").value(static_cast<std::uint64_t>(rec.lpq_hwm));
+    w.key("os_minor_faults").value(rec.os_minor_faults);
+    w.key("os_major_faults").value(rec.os_major_faults);
+    w.key("os_reclaims").value(rec.os_reclaims);
+    w.key("os_writebacks").value(rec.os_writebacks);
+    w.key("os_shootdowns").value(rec.os_shootdowns);
+    w.key("tenant_arrivals").value(rec.tenant_arrivals);
+    w.key("tenant_departures").value(rec.tenant_departures);
 }
 
 bool
@@ -85,7 +92,10 @@ writeTelemetryCsv(const std::vector<EpochRecord> &records,
            "prefetches_issued,buffer_hits,buffer_consumed,"
            "merged_useful,lpq_dropped,accuracy_pct,coverage_pct,"
            "policy,conflicts,regulars_delayed,dram_row_hits,"
-           "dram_row_misses,read_q_hwm,write_q_hwm,caq_hwm,lpq_hwm\n";
+           "dram_row_misses,read_q_hwm,write_q_hwm,caq_hwm,lpq_hwm,"
+           "os_minor_faults,os_major_faults,os_reclaims,"
+           "os_writebacks,os_shootdowns,tenant_arrivals,"
+           "tenant_departures\n";
     for (const auto &rec : records) {
         out << rec.epoch << ',' << rec.start_cycle << ','
             << rec.end_cycle << ',' << rec.reads << ','
@@ -99,7 +109,11 @@ writeTelemetryCsv(const std::vector<EpochRecord> &records,
             << rec.conflicts << ',' << rec.regulars_delayed << ','
             << rec.dram_row_hits << ',' << rec.dram_row_misses << ','
             << rec.read_q_hwm << ',' << rec.write_q_hwm << ','
-            << rec.caq_hwm << ',' << rec.lpq_hwm << '\n';
+            << rec.caq_hwm << ',' << rec.lpq_hwm << ','
+            << rec.os_minor_faults << ',' << rec.os_major_faults
+            << ',' << rec.os_reclaims << ',' << rec.os_writebacks
+            << ',' << rec.os_shootdowns << ',' << rec.tenant_arrivals
+            << ',' << rec.tenant_departures << '\n';
     }
 }
 

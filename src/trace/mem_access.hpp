@@ -37,6 +37,14 @@ struct MemAccess
      * (pointer chasing); the CPU serializes behind outstanding loads.
      */
     bool dependent = false;
+
+    /**
+     * Address-space (tenant) id. 0 for single-tenant traces; the
+     * multi-tenant scenario engine stamps each record with the id of
+     * the tenant that issued it so the OS model can keep the tenants'
+     * page tables and TLB entries apart.
+     */
+    std::uint32_t space = 0;
 };
 
 } // namespace asd

@@ -37,6 +37,7 @@
 #include "tuner/shadow_tuner.hpp"
 #include "tuner/tuner_recorder.hpp"
 #include "workloads/profiles.hpp"
+#include "workloads/tenant_mix.hpp"
 
 namespace asd
 {
@@ -104,7 +105,13 @@ class TunedRun
     SystemConfig sys_config_; //!< telemetry forced on
     SyntheticConfig trace_config_;
 
-    std::unique_ptr<SyntheticTraceGenerator> trace_;
+    /**
+     * The live trace source: a plain SyntheticTraceGenerator, or a
+     * TenantMixSource when options.tenants.enabled (the shadow forks
+     * build matching sources and restore them from the live
+     * snapshot, so tenant mixes tune like any other workload).
+     */
+    std::unique_ptr<TraceSource> trace_;
     std::unique_ptr<System> system_;
     std::unique_ptr<ShadowTuner> shadow_;
     PhaseDetector detector_;

@@ -17,12 +17,13 @@
 #include "common/types.hpp"
 #include "vm/page_table.hpp"
 #include "vm/tlb.hpp"
+#include "vm/translator.hpp"
 
 namespace asd
 {
 
 /** Memory-management unit for one hardware thread. */
-class Mmu : public Snapshottable
+class Mmu : public AddressTranslator, public Snapshottable
 {
   public:
     /** @param allocator shared frame pool; must outlive the Mmu. */
@@ -35,6 +36,17 @@ class Mmu : public Snapshottable
      * @return the physical byte address.
      */
     Addr translate(Addr vaddr, Cycles &walk_cycles);
+
+    /**
+     * AddressTranslator entry point: the plain VM layer ignores the
+     * access's space and op, so single-tenant runs stay bit-identical
+     * to the pre-interface simulator.
+     */
+    Addr
+    translate(const MemAccess &access, Cycles &stall_cycles) override
+    {
+        return translate(access.addr, stall_cycles);
+    }
 
     const Tlb &tlb() const { return tlb_; }
     const PageTable &pageTable() const { return table_; }

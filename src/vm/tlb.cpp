@@ -87,6 +87,17 @@ Tlb::probe(std::uint64_t vpn) const
     return find(vpn) != nullptr;
 }
 
+bool
+Tlb::invalidate(std::uint64_t vpn)
+{
+    Entry *entry = find(vpn);
+    if (entry == nullptr)
+        return false;
+    entry->valid = false;
+    evictions_.inc();
+    return true;
+}
+
 void
 Tlb::registerStats(StatRegistry &registry,
                    const std::string &prefix) const

@@ -43,6 +43,14 @@ class Tlb : public Snapshottable
     /** Tag-only probe with no LRU or counter side effects. */
     bool probe(std::uint64_t vpn) const;
 
+    /**
+     * Drop @p vpn if resident (a shootdown: the OS reclaimed the
+     * backing frame). Counts as an eviction when something was
+     * actually dropped.
+     * @retval true when an entry was invalidated.
+     */
+    bool invalidate(std::uint64_t vpn);
+
     std::uint64_t hits() const { return hits_.value(); }
     std::uint64_t misses() const { return misses_.value(); }
     std::uint64_t evictions() const { return evictions_.value(); }

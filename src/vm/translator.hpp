@@ -1,0 +1,37 @@
+#ifndef ASD_VM_TRANSLATOR_HPP
+#define ASD_VM_TRANSLATOR_HPP
+
+/**
+ * @file
+ * Abstract virtual-to-physical translation as seen by the trace CPU.
+ * The plain VM layer's Mmu (infinite frame pool, fixed walk cost) and
+ * the OS model's OsMmu (demand paging, reclaim, fault stalls) both
+ * implement it, so the CPU model charges translation stalls without
+ * knowing which memory model is underneath.
+ */
+
+#include "common/types.hpp"
+#include "trace/mem_access.hpp"
+
+namespace asd
+{
+
+/** Per-hardware-thread virtual-to-physical address translator. */
+class AddressTranslator
+{
+  public:
+    virtual ~AddressTranslator() = default;
+
+    /**
+     * Translate @p access's virtual byte address.
+     * @param stall_cycles set to the translation stall to charge
+     *        before the access may issue (0 on a TLB hit).
+     * @return the physical byte address.
+     */
+    virtual Addr translate(const MemAccess &access,
+                           Cycles &stall_cycles) = 0;
+};
+
+} // namespace asd
+
+#endif // ASD_VM_TRANSLATOR_HPP

@@ -43,6 +43,22 @@ enum class FrameAllocPolicy : std::uint8_t
     HugePage,
 };
 
+/**
+ * Page-table organization used by the OS model's software walker.
+ * The plain VM layer (no OS model) always uses the radix-style
+ * PageTable with a fixed walk cost; under the OS model the kernel
+ * builds the walker this selects.
+ */
+enum class PageWalkerKind : std::uint8_t
+{
+    /** Radix-style map with a fixed walk latency per miss. */
+    Radix,
+
+    /** Hashed/inverted table: walk cost grows with the probe chain
+        length, so collisions under memory pressure cost real cycles. */
+    Hashed,
+};
+
 /** Translation lookaside buffer geometry and cost. */
 struct TlbConfig
 {
@@ -75,6 +91,9 @@ struct VmConfig
 
     /** Seed for the random-shuffle placements. */
     std::uint64_t seed = 0x5eedULL;
+
+    /** Page-table organization for the OS model's walker. */
+    PageWalkerKind walker = PageWalkerKind::Radix;
 
     TlbConfig tlb;
 

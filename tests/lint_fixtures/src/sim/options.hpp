@@ -23,11 +23,33 @@ struct RunMetrics
     unsigned long cycles = 0;       // written but never restored
 };
 
+// Nested config records bound through the same writeJson(RunOptions)
+// overload, the way the real tree serializes the OS and tenant
+// blocks: emitted only when enabled, which must still count as
+// coverage for every field the block mentions.
+
+struct OsConfig
+{
+    bool enabled = false;       // referenced by the guard: covered
+    unsigned long frames = 0;   // emitted inside the block: covered
+    unsigned long debug_pokes = 0; // never emitted: serialize-coverage
+};
+
+struct TenantMixConfig
+{
+    bool enabled = false;      // fully covered: no finding
+    unsigned int slots = 0;
+};
+
 inline void
 writeJson(JsonWriter &json, const RunOptions &options)
 {
     json.field("accesses", options.accesses);
     json.field("threads", options.threads);
+    if (options.os.enabled)
+        json.field("frames", options.os.frames);
+    if (options.tenants.enabled)
+        json.field("slots", options.tenants.slots);
 }
 
 inline void

@@ -11,6 +11,8 @@
 #       [asdbakeoff args...]
 #   tools/determinism_diff.sh --tuner <path-to-asdsim_cli> \
 #       [asdsim_cli args...]
+#   tools/determinism_diff.sh --os <path-to-asdsim_cli> \
+#       [--split-at CYCLE] [asdsim_cli args...]
 #
 # With --split-at CYCLE the second run is checkpointed: it saves a
 # snapshot at CYCLE, then restores and finishes from it — so the diff
@@ -29,6 +31,12 @@
 # stdout must compare byte-identical — shadow candidates may be
 # *evaluated* in any order on any number of threads, but the adopted
 # configuration sequence must never depend on it.
+#
+# With --os the default configuration exercises the OS memory model
+# under reclaim pressure with multi-tenant churn, split mid-run at a
+# snapshot: demand paging, CLOCK reclaim, the hashed walker, and the
+# tenant mix must all restore byte-identically. Extra args replace
+# the default configuration as in plain mode.
 #
 # Without extra args a short default configuration is used. Exits 0
 # when both runs are byte-identical, 1 otherwise.
@@ -135,6 +143,16 @@ if [ "$1" = "--tuner" ]; then
     exit $status
 fi
 
+OS_MODE=0
+if [ "$1" = "--os" ]; then
+    OS_MODE=1
+    shift
+    if [ $# -lt 1 ]; then
+        echo "determinism_diff: --os needs the asdsim_cli path" >&2
+        exit 2
+    fi
+fi
+
 CLI=$1
 shift
 if [ ! -x "$CLI" ]; then
@@ -154,9 +172,22 @@ fi
 
 ARGS=("$@")
 if [ ${#ARGS[@]} -eq 0 ]; then
-    # Long enough that several telemetry epochs complete (an epoch is
-    # 2000 MC reads), so the CSV compares real per-epoch content.
-    ARGS=(--bench bwaves --mode MS --accesses 100000)
+    if [ $OS_MODE -eq 1 ]; then
+        # The OS/tenant audit: 128 frames force steady CLOCK reclaim,
+        # the hashed walker makes walk cost state-dependent, and the
+        # short tenant lifetime churns address spaces — all split at a
+        # mid-run snapshot by default.
+        ARGS=(--bench tpcc --accesses 30000 --os --os-frames 128
+              --os-walker hashed --tenants 4 --tenants-lifetime 8000)
+        if [ -z "$SPLIT" ]; then
+            SPLIT=4000000
+        fi
+    else
+        # Long enough that several telemetry epochs complete (an
+        # epoch is 2000 MC reads), so the CSV compares real per-epoch
+        # content.
+        ARGS=(--bench bwaves --mode MS --accesses 100000)
+    fi
 fi
 
 TMP=$(mktemp -d)
